@@ -1,0 +1,83 @@
+// Ablation: cycle-table implementation.
+//
+// §3.2 attributes the cycle-detection overhead to "the creation and
+// deletion of a hash-table, adding every single object reference to that
+// hash-table and finally, checking".  This bench compares (real wall
+// clock) our open-addressing pointer table against std::unordered_map —
+// the std-container shape a naive implementation would use — for the
+// insert+re-probe pattern serialization produces.
+#include <chrono>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "objmodel/heap.hpp"
+#include "serial/cycle_table.hpp"
+#include "support/table.hpp"
+
+using namespace rmiopt;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ns_per_op(Clock::time_point a, Clock::time_point b, std::size_t ops) {
+  return std::chrono::duration<double, std::nano>(b - a).count() /
+         static_cast<double>(ops);
+}
+
+}  // namespace
+
+int main() {
+  om::TypeRegistry types;
+  const om::ClassId cls = types.define_class("N", {{"x", om::TypeKind::Int}});
+  om::Heap heap(types);
+
+  constexpr std::size_t kObjects = 1000;
+  constexpr int kMessages = 2000;
+  std::vector<om::ObjRef> objs;
+  objs.reserve(kObjects);
+  for (std::size_t i = 0; i < kObjects; ++i) objs.push_back(heap.alloc(cls));
+
+  // Pattern per message: fresh table, insert every object, re-probe 10%.
+  // (lookup_or_insert is out-of-line, so the calls cannot be elided; the
+  // sink is printed at the end to keep the results observable.)
+  std::int64_t sink = 0;
+
+  const auto t0 = Clock::now();
+  for (int m = 0; m < kMessages; ++m) {
+    serial::CycleTable table(64);
+    for (om::ObjRef o : objs) sink += table.lookup_or_insert(o);
+    for (std::size_t i = 0; i < kObjects; i += 10) {
+      sink += table.lookup_or_insert(objs[i]);
+    }
+  }
+  const auto t1 = Clock::now();
+  for (int m = 0; m < kMessages; ++m) {
+    std::unordered_map<om::ObjRef, std::int32_t> table;
+    std::int32_t next = 0;
+    for (om::ObjRef o : objs) {
+      auto [it, fresh] = table.emplace(o, next);
+      sink += fresh ? (++next, -1) : it->second;
+    }
+    for (std::size_t i = 0; i < kObjects; i += 10) {
+      sink += table.at(objs[i]);
+    }
+  }
+  const auto t2 = Clock::now();
+
+  const std::size_t ops = kMessages * (kObjects + kObjects / 10);
+  TextTable t({"implementation", "ns/probe (real)", "relative"});
+  const double open_ns = ns_per_op(t0, t1, ops);
+  const double std_ns = ns_per_op(t1, t2, ops);
+  t.add_row({"open addressing (ours)", fmt_fixed(open_ns, 1), "1.00x"});
+  t.add_row({"std::unordered_map", fmt_fixed(std_ns, 1),
+             fmt_fixed(std_ns / open_ns, 2) + "x"});
+  std::printf("Ablation: cycle-table implementation "
+              "(%d messages x %zu objects)\n%s",
+              kMessages, kObjects, t.render().c_str());
+  std::printf("\nEither way, the compile-time elision of §3.2 removes the "
+              "cost entirely — the point of the paper's optimization.\n");
+  for (om::ObjRef o : objs) heap.free(o);
+  std::printf("(checksum %lld)\n", static_cast<long long>(sink));
+  return 0;
+}

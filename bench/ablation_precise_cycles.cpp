@@ -1,0 +1,39 @@
+// Ablation: the §7 future-work fix.
+//
+// "Currently linked lists (containing no dynamic cycles) are mistakenly
+// identified as having cycles" — so Table 1's site+cycle row equals its
+// site row.  With the construction-order refinement (see
+// analysis/cycle_analysis.hpp) the compiler proves the list acyclic and
+// cycle elision finally pays off on the linked-list benchmark.
+#include <cstdio>
+
+#include "apps/microbench.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace rmiopt;
+
+int main() {
+  TextTable t({"analysis", "level", "seconds", "cycle lookups"});
+  for (const bool precise : {false, true}) {
+    apps::ListBenchConfig cfg;
+    cfg.iterations = 1000;
+    cfg.precise_cycles = precise;
+    for (const auto level :
+         {codegen::OptLevel::Site, codegen::OptLevel::SiteCycle,
+          codegen::OptLevel::SiteReuseCycle}) {
+      const apps::RunResult r = apps::run_list_bench(level, cfg);
+      RMIOPT_CHECK(r.check == 1000.0, "list transfer lost messages");
+      t.add_row({precise ? "construction-order (refined)" : "paper (§3.2)",
+                 std::string(codegen::to_string(level)),
+                 fmt_fixed(r.makespan.as_seconds(), 4),
+                 std::to_string(r.total.serial.cycle_lookups)});
+    }
+  }
+  std::printf("Ablation: precise cycle analysis on the LinkedList "
+              "benchmark (100 nodes, 1000 RMIs)\n%s",
+              t.render().c_str());
+  std::printf("\nWith the paper's analysis site+cycle == site (Table 1); "
+              "the refinement removes ~100 probes + 1 table per message "
+              "while every transfer stays bit-identical.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: the reuse cache's runtime shape check (Figure 13).
+//
+// Reuse only pays off when consecutive messages match the cached graph's
+// types and array sizes.  Alternating two different row lengths defeats
+// the check on every call: rows reallocate, the gain evaporates — but
+// correctness is unaffected (the mismatch path allocates fresh arrays).
+#include <cstdio>
+
+#include "apps/microbench.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace rmiopt;
+
+int main() {
+  apps::ArrayBenchConfig stable;
+  stable.iterations = 500;
+  apps::ArrayBenchConfig varying = stable;
+  varying.alternate_cols = 8;  // every other message: 16x8 instead of 16x16
+
+  TextTable t({"workload", "level", "seconds", "objects reused",
+               "objects allocated"});
+  for (const bool vary : {false, true}) {
+    const auto& cfg = vary ? varying : stable;
+    for (const auto level :
+         {codegen::OptLevel::Site, codegen::OptLevel::SiteReuse}) {
+      const apps::RunResult r = apps::run_array_bench(level, cfg);
+      t.add_row({vary ? "alternating 16x16 / 16x8" : "stable 16x16",
+                 std::string(codegen::to_string(level)),
+                 fmt_fixed(r.makespan.as_seconds(), 4),
+                 std::to_string(r.total.serial.objects_reused),
+                 std::to_string(r.total.serial.objects_allocated)});
+    }
+  }
+  std::printf("Ablation: reuse shape check (Fig. 13 mismatch path), "
+              "500 RMIs\n%s",
+              t.render().c_str());
+  std::printf("\nWith alternating shapes only the outer array (matching "
+              "length 16) is reused; all 16 rows reallocate per call, as "
+              "Figure 13's size check dictates.\n");
+  return 0;
+}

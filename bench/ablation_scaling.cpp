@@ -1,0 +1,74 @@
+// Ablation: machine scaling (the paper evaluates 2 CPUs only).
+//
+// The web server scales by adding slaves; LU scales by adding workers.
+// This bench sweeps the machine count at the 'class' and fully-optimized
+// levels to show that (a) the applications actually parallelize on the
+// simulated cluster and (b) the optimization gains persist as machines
+// are added.
+#include <cstdio>
+
+#include "apps/lu.hpp"
+#include "apps/webserver.hpp"
+#include "bench/bench_common.hpp"
+
+using namespace rmiopt;
+
+int main() {
+  {
+    TextTable t({"pipelines", "machines", "class (us/page)",
+                 "all opts (us/page)", "gain"});
+    for (const std::size_t clients : {1, 2, 4, 8}) {
+      for (const std::size_t machines : {2, 3}) {
+        apps::WebserverConfig cfg;
+        cfg.machines = machines;
+        cfg.requests = 1000;
+        cfg.concurrent_clients = clients;
+        const double t_class =
+            apps::run_webserver(codegen::OptLevel::Class, cfg)
+                .makespan.as_micros() /
+            static_cast<double>(cfg.requests);
+        const double t_all =
+            apps::run_webserver(codegen::OptLevel::SiteReuseCycle, cfg)
+                .makespan.as_micros() /
+            static_cast<double>(cfg.requests);
+        t.add_row({std::to_string(clients), std::to_string(machines),
+                   fmt_fixed(t_class, 2), fmt_fixed(t_all, 2),
+                   fmt_gain(t_class, t_all)});
+      }
+    }
+    std::printf("Ablation: webserver pipelining and slaves "
+                "(1000 requests)\n%s\n",
+                t.render().c_str());
+    std::printf(
+        "One pipeline is round-trip-latency bound (~%s per page is pure "
+        "network); with several pipelines the master's own per-request CPU "
+        "becomes the ceiling, so extra slaves barely move it — the gain "
+        "from the compiler optimizations, however, persists at every "
+        "configuration.\n\n",
+        "30 us");
+  }
+  {
+    TextTable t({"machines", "class (s)", "all opts (s)", "gain"});
+    for (const std::size_t machines : {1, 2, 4}) {
+      apps::LuConfig cfg;
+      cfg.machines = machines;
+      cfg.n = 128;
+      const apps::RunResult rc = apps::run_lu(codegen::OptLevel::Class, cfg);
+      const apps::RunResult ra =
+          apps::run_lu(codegen::OptLevel::SiteReuseCycle, cfg);
+      RMIOPT_CHECK(rc.check < 1e-8 && ra.check < 1e-8, "LU wrong result");
+      t.add_row({std::to_string(machines),
+                 fmt_fixed(rc.makespan.as_seconds(), 4),
+                 fmt_fixed(ra.makespan.as_seconds(), 4),
+                 fmt_gain(rc.makespan.as_seconds(),
+                          ra.makespan.as_seconds())});
+    }
+    std::printf("Ablation: LU machine scaling (128x128, residual "
+                "verified)\n%s",
+                t.render().c_str());
+    std::printf("\nNote: with a fixed matrix the per-step pivot broadcast "
+                "grows with the machine count — the classic surface-to-"
+                "volume communication effect.\n");
+  }
+  return 0;
+}

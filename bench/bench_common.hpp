@@ -1,0 +1,81 @@
+// Shared helpers for the table-reproduction benchmark binaries.
+//
+// Every binary prints (a) the paper's original table and (b) the measured
+// reproduction in the same format, so the two can be compared side by
+// side.  Absolute values differ from 2003 hardware by construction; the
+// *shape* — ordering of configurations and rough gain factors — is the
+// reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/run_result.hpp"
+#include "codegen/opt_level.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace rmiopt::bench {
+
+using apps::RunResult;
+using codegen::OptLevel;
+
+struct LevelRun {
+  OptLevel level;
+  RunResult result;
+};
+
+inline std::vector<LevelRun> run_levels(
+    const std::function<RunResult(OptLevel)>& runner) {
+  std::vector<LevelRun> runs;
+  for (OptLevel level : codegen::kPaperLevels) {
+    runs.push_back(LevelRun{level, runner(level)});
+  }
+  return runs;
+}
+
+// Prints a "seconds | gain over 'class'" table like Tables 1/2/3/5.
+inline void print_runtime_table(const std::string& title,
+                                const std::vector<LevelRun>& runs) {
+  std::printf("%s\n", title.c_str());
+  TextTable t({"Compiler Optimization", "seconds", "gain over 'class'"});
+  const double base = runs.front().result.makespan.as_seconds();
+  for (const auto& run : runs) {
+    const double s = run.result.makespan.as_seconds();
+    t.add_row({std::string(codegen::to_string(run.level)), fmt_fixed(s, 4),
+               fmt_gain(base, s)});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+// Prints a runtime-statistics table like Tables 4/6/8.  The
+// "invocations" column is the count of dynamically dispatched serializer
+// calls ("how many calls were made to serialization methods during the
+// serialization process", §5.2) — call-site inlining reduces it.
+inline void print_stats_table(const std::string& title,
+                              const std::vector<LevelRun>& runs) {
+  std::printf("%s\n", title.c_str());
+  TextTable t({"Optimization", "reused objs", "local rpcs", "remote rpcs",
+               "new (MBytes)", "cycle lookups", "invocations"});
+  for (const auto& run : runs) {
+    const auto& s = run.result.total;
+    t.add_row({std::string(codegen::to_string(run.level)),
+               std::to_string(s.serial.objects_reused),
+               std::to_string(s.local_rpcs), std::to_string(s.remote_rpcs),
+               fmt_fixed(s.deserialization_mbytes(), 2),
+               std::to_string(s.serial.cycle_lookups),
+               std::to_string(s.serial.serializer_invocations)});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+inline void print_paper_reference(const std::string& caption,
+                                  const std::vector<std::string>& lines) {
+  std::printf("--- paper reference: %s ---\n", caption.c_str());
+  for (const auto& l : lines) std::printf("  %s\n", l.c_str());
+  std::printf("\n");
+}
+
+}  // namespace rmiopt::bench

@@ -1,0 +1,83 @@
+// Google-benchmark microbenchmarks for the *compiler* itself: heap
+// analysis fixpoint, cycle/escape queries, and full compilation of the
+// application models.  Real wall clock — the analyses must stay cheap
+// enough to run per call site, which is the premise of §3.1.
+#include <benchmark/benchmark.h>
+
+#include "apps/paper_figures.hpp"
+#include "driver/compile.hpp"
+
+namespace {
+
+using namespace rmiopt;
+using apps::figures::FigureProgram;
+
+void BM_HeapAnalysisLu(benchmark::State& state) {
+  FigureProgram p = apps::figures::make_lu_model();
+  for (auto _ : state) {
+    analysis::HeapAnalysis heap(*p.module);
+    heap.run();
+    benchmark::DoNotOptimize(heap.node_count());
+  }
+}
+BENCHMARK(BM_HeapAnalysisLu);
+
+void BM_HeapAnalysisRmiLoop(benchmark::State& state) {
+  // Figure 3: the tuple-rule fixpoint with boundary cloning.
+  FigureProgram p = apps::figures::make_figure3();
+  for (auto _ : state) {
+    analysis::HeapAnalysis heap(*p.module);
+    heap.run();
+    benchmark::DoNotOptimize(heap.iterations());
+  }
+}
+BENCHMARK(BM_HeapAnalysisRmiLoop);
+
+void BM_CompileSuperoptModel(benchmark::State& state) {
+  FigureProgram p = apps::figures::make_superopt_model();
+  for (auto _ : state) {
+    driver::CompiledProgram prog =
+        driver::compile(*p.module, codegen::OptLevel::SiteReuseCycle);
+    benchmark::DoNotOptimize(prog.sites.size());
+  }
+}
+BENCHMARK(BM_CompileSuperoptModel);
+
+void BM_CompileWebserverAllLevels(benchmark::State& state) {
+  FigureProgram p = apps::figures::make_webserver_model();
+  for (auto _ : state) {
+    for (const auto level : codegen::kPaperLevels) {
+      driver::CompiledProgram prog = driver::compile(*p.module, level);
+      benchmark::DoNotOptimize(prog.sites.size());
+    }
+  }
+}
+BENCHMARK(BM_CompileWebserverAllLevels);
+
+void BM_CompilePreciseCycles(benchmark::State& state) {
+  // The refinement scans every store in the module: measure its overhead.
+  FigureProgram p = apps::figures::make_figure14();
+  for (auto _ : state) {
+    driver::CompiledProgram prog = driver::compile(
+        *p.module, codegen::OptLevel::SiteReuseCycle,
+        driver::CompileOptions{.precise_cycles = true});
+    benchmark::DoNotOptimize(prog.sites.size());
+  }
+}
+BENCHMARK(BM_CompilePreciseCycles);
+
+void BM_PlanClone(benchmark::State& state) {
+  FigureProgram p = apps::figures::make_superopt_model();
+  driver::CompiledProgram prog =
+      driver::compile(*p.module, codegen::OptLevel::SiteReuseCycle);
+  const auto& plan = *prog.site(p.tag("test")).plan;
+  for (auto _ : state) {
+    auto copy = plan.clone();
+    benchmark::DoNotOptimize(copy->args.size());
+  }
+}
+BENCHMARK(BM_PlanClone);
+
+}  // namespace
+
+BENCHMARK_MAIN();

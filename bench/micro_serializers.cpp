@@ -1,0 +1,141 @@
+// Google-benchmark microbenchmarks: *real wall-clock* throughput of the
+// three serializer families on this machine.
+//
+// These complement the table benches (which report deterministic virtual
+// time): they demonstrate that the generated-code *structure* itself —
+// independent of the calibrated cost model — favors call-site plans: no
+// per-object dispatch, no type info, no cycle probes; and that in-place
+// reuse beats fresh allocation on deserialization.
+#include <benchmark/benchmark.h>
+
+#include "objmodel/heap.hpp"
+#include "serial/class_plans.hpp"
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+
+namespace {
+
+using namespace rmiopt;
+
+struct Fixture {
+  om::TypeRegistry types;
+  serial::ClassPlanRegistry class_plans{types};
+  om::Heap heap{types};
+  om::ClassId row = om::kNoClass;
+  om::ClassId mat = om::kNoClass;
+  om::ObjRef matrix = nullptr;
+  std::unique_ptr<serial::NodePlan> site_plan;
+
+  Fixture() {
+    row = types.register_prim_array(om::TypeKind::Double);
+    mat = types.register_ref_array(row);
+    matrix = heap.alloc_array(mat, 16);
+    for (std::uint32_t r = 0; r < 16; ++r) {
+      om::ObjRef rr = heap.alloc_array(row, 16);
+      auto e = rr->elems<double>();
+      for (std::uint32_t c = 0; c < 16; ++c) e[c] = r * 16.0 + c;
+      matrix->set_elem_ref(r, rr);
+    }
+    auto inner = std::make_unique<serial::NodePlan>();
+    inner->expected_class = row;
+    site_plan = std::make_unique<serial::NodePlan>();
+    site_plan->expected_class = mat;
+    site_plan->elem_plan = std::move(inner);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_SerializeIntrospective(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    serial::SerialStats stats;
+    serial::SerialWriter w(f.class_plans, stats, /*cycle_enabled=*/true);
+    ByteBuffer out;
+    w.write_introspective(out, f.matrix);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_SerializeIntrospective);
+
+void BM_SerializeClassSpecific(benchmark::State& state) {
+  Fixture& f = fixture();
+  auto root = serial::make_dynamic_node(f.mat);
+  for (auto _ : state) {
+    serial::SerialStats stats;
+    serial::SerialWriter w(f.class_plans, stats, /*cycle_enabled=*/true);
+    ByteBuffer out;
+    w.write(out, *root, f.matrix);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_SerializeClassSpecific);
+
+void BM_SerializeCallSite(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    serial::SerialStats stats;
+    serial::SerialWriter w(f.class_plans, stats, /*cycle_enabled=*/false);
+    ByteBuffer out;
+    w.write(out, *f.site_plan, f.matrix);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_SerializeCallSite);
+
+void BM_DeserializeCallSiteFresh(benchmark::State& state) {
+  Fixture& f = fixture();
+  serial::SerialStats ws;
+  serial::SerialWriter w(f.class_plans, ws, false);
+  ByteBuffer buf;
+  w.write(buf, *f.site_plan, f.matrix);
+  for (auto _ : state) {
+    buf.rewind();
+    serial::SerialStats rs;
+    serial::SerialReader r(f.class_plans, f.heap, rs, false);
+    om::ObjRef copy = r.read(buf, *f.site_plan);
+    benchmark::DoNotOptimize(copy);
+    f.heap.free_graph(copy);
+  }
+}
+BENCHMARK(BM_DeserializeCallSiteFresh);
+
+void BM_DeserializeCallSiteReusing(benchmark::State& state) {
+  Fixture& f = fixture();
+  serial::SerialStats ws;
+  serial::SerialWriter w(f.class_plans, ws, false);
+  ByteBuffer buf;
+  w.write(buf, *f.site_plan, f.matrix);
+  serial::SerialStats rs0;
+  serial::SerialReader r0(f.class_plans, f.heap, rs0, false);
+  om::ObjRef cached = r0.read(buf, *f.site_plan);
+  for (auto _ : state) {
+    buf.rewind();
+    serial::SerialStats rs;
+    serial::SerialReader r(f.class_plans, f.heap, rs, false);
+    cached = r.read_reusing(buf, *f.site_plan, cached);
+    benchmark::DoNotOptimize(cached);
+  }
+  f.heap.free_graph(cached);
+}
+BENCHMARK(BM_DeserializeCallSiteReusing);
+
+void BM_CycleTableProbe(benchmark::State& state) {
+  Fixture& f = fixture();
+  std::vector<om::ObjRef> objs;
+  for (int i = 0; i < 256; ++i) objs.push_back(f.heap.alloc_array(f.row, 1));
+  for (auto _ : state) {
+    serial::CycleTable t(64);
+    for (om::ObjRef o : objs) benchmark::DoNotOptimize(t.lookup_or_insert(o));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+  for (om::ObjRef o : objs) f.heap.free(o);
+}
+BENCHMARK(BM_CycleTableProbe);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Quickstart: define a remote method, let the compiler generate a
+// call-site-specific marshaler for it, and invoke it across the simulated
+// cluster.
+//
+// The flow mirrors how the paper's system is used:
+//   1. describe the classes (shared by compiler and runtime),
+//   2. build the IR of the program around the RMI call site,
+//   3. compile at an optimization level -> marshal plans,
+//   4. bind runtime handlers and run.
+//
+// Build & run:  cmake --build build && ./build/examples/example_quickstart
+#include <cstdio>
+
+#include "driver/compile.hpp"
+#include "ir/builder.hpp"
+#include "net/cluster.hpp"
+#include "rmi/runtime.hpp"
+
+using namespace rmiopt;
+
+int main() {
+  // 1. Classes.  `Point { double x, y; }` is the RMI argument.
+  om::TypeRegistry types;
+  const om::ClassId point = types.define_class(
+      "Point", {{"x", om::TypeKind::Double}, {"y", om::TypeKind::Double}});
+
+  // 2. The program: `remote double norm2(Point p)` called from main().
+  //    (Scalar returns travel as part of the ACK-free reply; here we use a
+  //    Point -> Point method to show object flow both ways.)
+  ir::Module module(types);
+  ir::Function& mirror = module.add_function(
+      "Geo.mirror", {ir::Type::ref(point)}, ir::Type::ref(point),
+      /*is_remote_method=*/true);
+  {
+    ir::FunctionBuilder b(module, mirror);
+    const auto result = b.alloc(point);  // the callee allocates the reply
+    b.ret(result);
+  }
+  ir::Function& main_fn =
+      module.add_function("main", {}, ir::Type::void_type());
+  {
+    ir::FunctionBuilder b(module, main_fn);
+    const auto arg = b.alloc(point);
+    const auto res = b.remote_call(mirror.id, {arg}, /*tag=*/1);
+    b.load_field(res, "x");  // the result is used -> the reply is shipped
+    b.ret();
+  }
+
+  // 3. Compile.  The analyses prove: argument and return graphs are
+  //    acyclic (no cycle table), both are reusable (caches installed).
+  const driver::CompiledProgram prog =
+      driver::compile(module, codegen::OptLevel::SiteReuseCycle);
+  const auto& decision = prog.site(1);
+  std::printf("generated marshaler for the call site:\n%s\n",
+              serial::to_pseudocode(*decision.plan, types).c_str());
+
+  // 4. Runtime: 2 machines, the handler mirrors the point.
+  net::Cluster cluster(2, types);
+  rmi::RmiSystem sys(cluster, types);
+  const auto method = sys.define_method(
+      "Geo.mirror",
+      [&](rmi::CallContext& ctx, auto, std::span<const om::ObjRef> args) {
+        const om::ClassDescriptor& c = types.get(point);
+        om::ObjRef out = ctx.heap().alloc(c);
+        out->set<double>(c.fields[0], -args[0]->get<double>(c.fields[0]));
+        out->set<double>(c.fields[1], -args[0]->get<double>(c.fields[1]));
+        return rmi::HandlerResult{.value = out, .give_ownership = true};
+      });
+  const auto site = sys.add_callsite(driver::to_runtime_site(prog, 1, method));
+  const rmi::RemoteRef geo =
+      sys.export_object(1, cluster.machine(1).heap().alloc(point));
+  sys.start();
+
+  om::Heap& h0 = cluster.machine(0).heap();
+  const om::ClassDescriptor& c = types.get(point);
+  om::ObjRef p = h0.alloc(c);
+  p->set<double>(c.fields[0], 3.0);
+  p->set<double>(c.fields[1], -4.0);
+
+  om::ObjRef q = sys.invoke(0, geo, site, std::array{p});
+  std::printf("mirror(3, -4) = (%g, %g)\n", q->get<double>(c.fields[0]),
+              q->get<double>(c.fields[1]));
+
+  sys.stop();
+  const auto stats = sys.total_stats();
+  std::printf(
+      "remote rpcs: %llu, wire bytes: %llu, type-info bytes: %llu, "
+      "cycle lookups: %llu\n",
+      static_cast<unsigned long long>(stats.remote_rpcs),
+      static_cast<unsigned long long>(cluster.stats().bytes.load()),
+      static_cast<unsigned long long>(stats.serial.type_info_bytes),
+      static_cast<unsigned long long>(stats.serial.cycle_lookups));
+  std::printf("virtual round-trip time: %s\n",
+              cluster.makespan().to_string().c_str());
+  return 0;
+}

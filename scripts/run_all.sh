@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, regenerates every paper
+# table and ablation, and runs the examples — the complete reproduction in
+# one command.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "=== tests ==="
+ctest --test-dir build --output-on-failure
+
+echo "=== paper tables + ablations + microbenchmarks ==="
+for b in build/bench/*; do
+  echo "----- $b"
+  "$b"
+done
+
+echo "=== examples ==="
+for e in build/examples/example_*; do
+  echo "----- $e"
+  "$e"
+done

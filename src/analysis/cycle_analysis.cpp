@@ -1,0 +1,210 @@
+#include "analysis/cycle_analysis.hpp"
+
+namespace rmiopt::analysis {
+
+namespace {
+
+// Per-function view used by the conformance check.
+struct FuncDefs {
+  std::vector<const ir::Instr*> def;        // value id -> defining instr
+  std::vector<std::uint32_t> alias_uses;    // value id -> alias-creating uses
+};
+
+FuncDefs build_defs(const ir::Function& f) {
+  FuncDefs d;
+  d.def.assign(f.value_count, nullptr);
+  d.alias_uses.assign(f.value_count, 0);
+  for (const auto& block : f.blocks) {
+    for (const auto& in : block.instrs) {
+      if (in.has_result()) d.def[in.result] = &in;
+      // Count the uses through which a reference can gain a second heap
+      // alias.  Remote-call arguments are copied (no alias); store
+      // *targets* receive, they do not alias the target itself.
+      switch (in.op) {
+        case ir::Op::StoreField:
+        case ir::Op::StoreIndex:
+          ++d.alias_uses[in.operands[1]];
+          break;
+        case ir::Op::StoreStatic:
+        case ir::Op::Return:
+          if (!in.operands.empty()) ++d.alias_uses[in.operands[0]];
+          break;
+        case ir::Op::Move:
+        case ir::Op::Phi:
+          for (ir::ValueId v : in.operands) ++d.alias_uses[v];
+          break;
+        case ir::Op::Call:  // local call: reference semantics — may alias
+          for (ir::ValueId v : in.operands) ++d.alias_uses[v];
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return d;
+}
+
+// True if `v` is a *linear* chain of fresh allocations: its definition is
+// an Alloc, Move or Phi over such values, and every value on the chain has
+// at most one alias-creating use — so each runtime object reaches at most
+// one store, and the structure under construction cannot become shared.
+bool linear_fresh_chain(const FuncDefs& d, ir::ValueId v,
+                        std::set<ir::ValueId>& visiting) {
+  if (!visiting.insert(v).second) return true;  // loop through a phi: ok
+  if (d.alias_uses[v] > 1) return false;
+  const ir::Instr* def = d.def[v];
+  if (def == nullptr) return false;  // parameter or unknown origin
+  switch (def->op) {
+    case ir::Op::Alloc:
+      return true;
+    case ir::Op::ConstNull:
+      return true;  // null carries no object
+    case ir::Op::Move:
+      return linear_fresh_chain(d, def->operands[0], visiting);
+    case ir::Op::Phi:
+      for (ir::ValueId in : def->operands) {
+        if (!linear_fresh_chain(d, in, visiting)) return false;
+      }
+      return true;
+    default:
+      return false;  // loads, calls, statics: aliasing unknown
+  }
+}
+
+}  // namespace
+
+void CycleAnalysis::compute_ordered_fields() const {
+  if (ordered_computed_) return;
+  ordered_computed_ = true;
+  const ir::Module& m = heap_.module();
+  const om::TypeRegistry& types = m.types();
+
+  auto mark_unordered = [&](om::ClassId target_cls, std::uint32_t field) {
+    // A non-conforming store through static type T taints the field for
+    // every class that could alias T (sub- or super-class share flattened
+    // field indices).
+    for (om::ClassId id = 1; id <= types.class_count(); ++id) {
+      if (types.get(id).is_array) continue;
+      if (types.is_subclass_of(id, target_cls) ||
+          types.is_subclass_of(target_cls, id)) {
+        ordered_[{id, field}] = false;
+      }
+    }
+  };
+
+  for (std::size_t fi = 0; fi < m.function_count(); ++fi) {
+    const ir::Function& f = m.function(static_cast<ir::FuncId>(fi));
+    const FuncDefs d = build_defs(f);
+    for (const auto& block : f.blocks) {
+      for (const auto& in : block.instrs) {
+        if (in.op != ir::Op::StoreField) continue;
+        if (!f.value_type(in.operands[1]).is_ref()) continue;
+        const ir::ValueId target = in.operands[0];
+        const ir::ValueId value = in.operands[1];
+        const om::ClassId target_cls = f.value_type(target).class_id;
+        // (a) the object is freshly constructed at the store;
+        const bool target_is_fresh =
+            d.def[target] != nullptr && d.def[target]->op == ir::Op::Alloc;
+        // (b) SSA value ids increase in creation order, so `value < target`
+        //     means the stored reference was computed before the
+        //     allocation — its referent is strictly older;
+        const bool value_is_older = value < target;
+        // (c) linearity: each runtime referent can reach at most this one
+        //     store, so conforming stores cannot build shared structure.
+        std::set<ir::ValueId> visiting;
+        const bool value_is_linear =
+            value_is_older && linear_fresh_chain(d, value, visiting);
+        if (!(target_is_fresh && value_is_older && value_is_linear)) {
+          mark_unordered(target_cls, in.field_index);
+        }
+      }
+    }
+  }
+}
+
+bool CycleAnalysis::field_is_init_ordered(om::ClassId cls,
+                                          std::uint32_t field) const {
+  compute_ordered_fields();
+  auto it = ordered_.find({cls, field});
+  return it == ordered_.end() ? true : it->second;
+}
+
+void CycleAnalysis::visit(LogicalId node, Walk& w) const {
+  if (w.cyclic) return;
+  w.visited.insert(node);
+  w.on_path.insert(node);
+  const HeapNode& n = heap_.node(node);
+
+  auto follow = [&](LogicalId target, bool ordered_edge) {
+    if (w.cyclic) return;
+    if (w.on_path.contains(target)) {
+      // A back edge.  With the refinement, a cycle whose every edge is
+      // initialization-ordered cannot exist at runtime (ages strictly
+      // decrease along it); `unordered_depth == 0` conservatively requires
+      // the whole current path to be ordered.
+      if (!(refined_ && ordered_edge && w.unordered_depth == 0)) {
+        w.cyclic = true;
+      }
+      return;
+    }
+    if (w.visited.contains(target)) {
+      // Allocation number seen twice on converging paths: the structure
+      // may be shared, and eliding the handle table would also lose
+      // sharing — keep runtime detection (the paper's base rule).
+      w.cyclic = true;
+      return;
+    }
+    if (!ordered_edge) ++w.unordered_depth;
+    visit(target, w);
+    if (!ordered_edge) --w.unordered_depth;
+  };
+
+  for (const auto& [field, targets] : n.fields) {
+    const bool ordered =
+        refined_ && field_is_init_ordered(n.cls, field);
+    for (LogicalId t : targets) follow(t, ordered);
+  }
+  for (LogicalId t : n.elems) {
+    follow(t, /*ordered_edge=*/false);  // element stores are not ctor-ordered
+  }
+  w.on_path.erase(node);
+}
+
+bool CycleAnalysis::may_cycle(const NodeSet& roots) const {
+  Walk w;
+  for (LogicalId r : roots) {
+    if (w.visited.contains(r)) return true;  // shared root (Figure 8)
+    visit(r, w);
+    if (w.cyclic) return true;
+  }
+  return false;
+}
+
+bool CycleAnalysis::may_cycle_args(
+    const std::vector<NodeSet>& arg_sets) const {
+  // One shared walk across all arguments: passing the same object twice
+  // (Figure 8) must be detected.
+  Walk w;
+  for (const NodeSet& roots : arg_sets) {
+    for (LogicalId r : roots) {
+      if (w.visited.contains(r)) return true;
+      visit(r, w);
+      if (w.cyclic) return true;
+    }
+  }
+  return false;
+}
+
+bool CycleAnalysis::callsite_needs_cycle_table(
+    const ir::Module::RemoteCallRef& site) const {
+  if (may_cycle_args(heap_.remote_arg_sets(site))) return true;
+  const ir::Instr& in = *site.instr;
+  if (in.has_result() &&
+      heap_.module().function(site.caller).value_type(in.result).is_ref()) {
+    // The return message is a separate serialization pass: fresh walk.
+    return may_cycle(heap_.return_set(in.callee));
+  }
+  return false;
+}
+
+}  // namespace rmiopt::analysis

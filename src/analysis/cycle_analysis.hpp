@@ -1,0 +1,75 @@
+// Conservative compile-time cycle detection (paper §3.2), plus the §7
+// future-work refinement.
+//
+// Base algorithm: traverse the heap graphs rooted at a remote call's
+// arguments (and, separately, its return value) and record the allocation
+// numbers seen.  "Once an allocation number is seen twice, we assume that
+// the argument graph may contain a cycle" — so sharing between arguments
+// (Figure 8), self references (Figure 9), and — matching the paper's
+// admitted imprecision (§7) — linked lists built at a single allocation
+// site are all classified as possibly cyclic.  Note the conservatism is
+// partly *required*: eliding the handle table also loses sharing, so any
+// potentially-shared node must keep runtime detection.
+//
+// Construction-order refinement (enabled via the constructor flag): a
+// field f of class C is *initialization-ordered* when every store `a.f=b`
+// in the module (over any compatible static type) satisfies
+//   (a) `a` is the direct result of an Alloc — the object is being
+//       constructed, and
+//   (b) `b` is an SSA value created before that Alloc, so the referent
+//       exists before the referrer.
+// Edges through such fields always point from younger to strictly older
+// objects; a runtime cycle composed solely of such edges is impossible.
+// The refined traversal therefore ignores a back edge that closes a DFS
+// path consisting entirely of initialization-ordered edges.  This proves
+// `head = new LinkedList(head)` chains acyclic (fixing the paper's §7
+// false positive) while still flagging self-stores (Figure 9: the stored
+// value *is* the new object) and ring closures (the closing store targets
+// an old object / stores a younger value).
+#pragma once
+
+#include <map>
+
+#include "analysis/heap_analysis.hpp"
+
+namespace rmiopt::analysis {
+
+class CycleAnalysis {
+ public:
+  explicit CycleAnalysis(const HeapAnalysis& heap,
+                         bool construction_order_refinement = false)
+      : heap_(heap), refined_(construction_order_refinement) {}
+
+  // May the object graph reachable from this single root set be cyclic
+  // (or internally shared)?
+  bool may_cycle(const NodeSet& roots) const;
+
+  // The per-call-site question: arguments are serialized into one message,
+  // so sharing *between* arguments also needs runtime cycle handles.
+  bool may_cycle_args(const std::vector<NodeSet>& arg_sets) const;
+
+  // Whole-call-site verdict used to decide needs_cycle_table: either
+  // direction (argument message or return message) may contain a cycle.
+  bool callsite_needs_cycle_table(const ir::Module::RemoteCallRef& site) const;
+
+  // Exposed for tests: is (class, field) initialization-ordered?
+  bool field_is_init_ordered(om::ClassId cls, std::uint32_t field) const;
+
+ private:
+  struct Walk {
+    NodeSet visited;              // ever seen (sharing detection)
+    NodeSet on_path;              // current DFS stack
+    std::size_t unordered_depth = 0;  // non-ordered edges on current path
+    bool cyclic = false;
+  };
+  void visit(LogicalId node, Walk& walk) const;
+  void compute_ordered_fields() const;
+
+  const HeapAnalysis& heap_;
+  const bool refined_;
+  mutable bool ordered_computed_ = false;
+  // (class, field) -> initialization-ordered?
+  mutable std::map<std::pair<om::ClassId, std::uint32_t>, bool> ordered_;
+};
+
+}  // namespace rmiopt::analysis

@@ -1,0 +1,98 @@
+#include "analysis/escape_analysis.hpp"
+
+#include <algorithm>
+
+namespace rmiopt::analysis {
+
+namespace {
+
+bool intersects(const NodeSet& a, const NodeSet& b) {
+  // a is typically small; b may be large.
+  const NodeSet& small = a.size() <= b.size() ? a : b;
+  const NodeSet& large = a.size() <= b.size() ? b : a;
+  return std::any_of(small.begin(), small.end(),
+                     [&](LogicalId id) { return large.contains(id); });
+}
+
+bool subset_of(const NodeSet& a, const NodeSet& b) {
+  return std::all_of(a.begin(), a.end(),
+                     [&](LogicalId id) { return b.contains(id); });
+}
+
+}  // namespace
+
+bool EscapeAnalysis::graph_escapes(const NodeSet& g) const {
+  if (g.empty()) return false;
+  const ir::Module& m = heap_.module();
+  for (std::size_t fi = 0; fi < m.function_count(); ++fi) {
+    const ir::Function& f = m.function(static_cast<ir::FuncId>(fi));
+    for (const auto& block : f.blocks) {
+      for (const auto& in : block.instrs) {
+        switch (in.op) {
+          case ir::Op::StoreStatic: {
+            if (!f.value_type(in.operands[0]).is_ref()) break;
+            if (intersects(heap_.points_to(f.id, in.operands[0]), g)) {
+              return true;  // Figure 11: assigned to a static variable
+            }
+            break;
+          }
+          case ir::Op::StoreField:
+          case ir::Op::StoreIndex: {
+            if (!f.value_type(in.operands[1]).is_ref()) break;
+            const NodeSet& val = heap_.points_to(f.id, in.operands[1]);
+            if (!intersects(val, g)) break;
+            // Stores *within* the graph keep it self-contained; stores
+            // into any object that may lie outside the graph leak it.
+            const NodeSet& obj = heap_.points_to(f.id, in.operands[0]);
+            if (!subset_of(obj, g)) return true;
+            break;
+          }
+          case ir::Op::Return: {
+            if (in.operands.empty() ||
+                !f.value_type(in.operands[0]).is_ref()) {
+              break;
+            }
+            if (intersects(heap_.points_to(f.id, in.operands[0]), g)) {
+              return true;  // flows out of the defining scope
+            }
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool EscapeAnalysis::args_reusable(
+    const ir::Module::RemoteCallRef& site) const {
+  const ir::Module& m = heap_.module();
+  const ir::Function& callee = m.function(site.instr->callee);
+  NodeSet roots;
+  bool any_ref_arg = false;
+  for (std::size_t i = 0; i < callee.params.size(); ++i) {
+    if (!callee.params[i].is_ref()) continue;
+    any_ref_arg = true;
+    const NodeSet& p = heap_.points_to(callee.id,
+                                       static_cast<ir::ValueId>(i));
+    roots.insert(p.begin(), p.end());
+  }
+  if (!any_ref_arg) return false;  // nothing to reuse
+  return !graph_escapes(heap_.reachable(roots));
+}
+
+bool EscapeAnalysis::return_reusable(
+    const ir::Module::RemoteCallRef& site) const {
+  const ir::Instr& in = *site.instr;
+  const ir::Function& caller = heap_.module().function(site.caller);
+  if (!in.has_result() || !caller.value_type(in.result).is_ref()) {
+    return false;
+  }
+  const NodeSet& result = heap_.points_to(site.caller, in.result);
+  if (result.empty()) return false;
+  return !graph_escapes(heap_.reachable(result));
+}
+
+}  // namespace rmiopt::analysis

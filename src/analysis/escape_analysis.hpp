@@ -1,0 +1,41 @@
+// RMI-specific escape analysis (paper §3.3).
+//
+// Argument/return-value reuse is only valid when the deserialized graph
+// does not outlive the invocation: "if the argument (and, recursively, any
+// of the objects the argument may refer to) does not escape the remote
+// method".  A graph escapes when any node reachable from it is
+//   * stored into a static/global variable (Figure 11),
+//   * stored into the field/element of an object outside the graph
+//     (it would survive inside foreign state), or
+//   * returned from a function (it flows to the caller's copy semantics).
+//
+// The analysis answers two questions per remote call site: can the callee
+// recycle the deserialized *argument* graphs, and can the caller recycle
+// the deserialized *return* graph (the webserver's pages, §5.4).
+#pragma once
+
+#include "analysis/heap_analysis.hpp"
+
+namespace rmiopt::analysis {
+
+class EscapeAnalysis {
+ public:
+  explicit EscapeAnalysis(const HeapAnalysis& heap) : heap_(heap) {}
+
+  // Does any node of the graph `R` (a reachability-closed node set) escape?
+  bool graph_escapes(const NodeSet& closed_graph) const;
+
+  // §3.3 argument reuse: true iff nothing reachable from the callee's
+  // deserialized parameters escapes the remote method (Figure 10 yes,
+  // Figure 11 no).
+  bool args_reusable(const ir::Module::RemoteCallRef& site) const;
+
+  // Return-value reuse at the caller: true iff nothing reachable from the
+  // call's result escapes the calling context.
+  bool return_reusable(const ir::Module::RemoteCallRef& site) const;
+
+ private:
+  const HeapAnalysis& heap_;
+};
+
+}  // namespace rmiopt::analysis

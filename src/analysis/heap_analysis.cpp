@@ -1,0 +1,326 @@
+#include "analysis/heap_analysis.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace rmiopt::analysis {
+
+HeapAnalysis::HeapAnalysis(const ir::Module& module) : module_(module) {
+  value_pts_.resize(module.function_count());
+  return_pts_.resize(module.function_count());
+  for (std::size_t f = 0; f < module.function_count(); ++f) {
+    value_pts_[f].resize(
+        module.function(static_cast<ir::FuncId>(f)).value_count);
+  }
+  global_pts_.resize(module.global_count());
+
+  // §2 step 2: one node per allocation site.
+  for (std::size_t f = 0; f < module.function_count(); ++f) {
+    const ir::Function& fn = module.function(static_cast<ir::FuncId>(f));
+    for (const auto& block : fn.blocks) {
+      for (const auto& in : block.instrs) {
+        if (in.op == ir::Op::Alloc || in.op == ir::Op::AllocArray) {
+          site_to_node_[in.alloc_site] =
+              make_node(in.alloc_site, in.class_id, /*is_clone=*/false);
+        }
+      }
+    }
+  }
+}
+
+LogicalId HeapAnalysis::make_node(ir::AllocSiteId physical, om::ClassId cls,
+                                  bool is_clone) {
+  HeapNode n;
+  n.logical = static_cast<LogicalId>(nodes_.size());
+  n.physical = physical;
+  n.cls = cls;
+  n.is_clone = is_clone;
+  nodes_.push_back(std::move(n));
+  RMIOPT_CHECK(max_nodes_ == 0 || nodes_.size() <= max_nodes_,
+               "heap analysis diverged (node explosion)");
+  return nodes_.back().logical;
+}
+
+bool HeapAnalysis::add_all(NodeSet& dest, const NodeSet& src) {
+  bool changed = false;
+  for (LogicalId id : src) changed |= dest.insert(id).second;
+  return changed;
+}
+
+LogicalId HeapAnalysis::clone_of(ContextKey ctx, LogicalId original) {
+  const auto key = std::make_pair(ctx, original);
+  auto it = clone_map_.find(key);
+  if (it != clone_map_.end()) return it->second;
+  const HeapNode& orig = nodes_[original];
+  const LogicalId id = make_node(orig.physical, orig.cls, /*is_clone=*/true);
+  clone_map_.emplace(key, id);
+  return id;
+}
+
+LogicalId HeapAnalysis::clone_sync(ContextKey ctx, LogicalId original,
+                                   bool& changed) {
+  // BFS the original subgraph, mirroring structure onto the clones.  The
+  // clone map preserves sharing and cycles; re-running is monotone, which
+  // keeps field additions discovered in later iterations flowing into the
+  // clone graph.
+  const std::size_t nodes_before = nodes_.size();
+  const LogicalId root = clone_of(ctx, original);
+  NodeSet visited;
+  std::vector<LogicalId> work{original};
+  while (!work.empty()) {
+    const LogicalId cur = work.back();
+    work.pop_back();
+    if (!visited.insert(cur).second) continue;
+    const LogicalId cur_clone = clone_of(ctx, cur);
+    // Copy edge lists by value, and resolve each target's clone id BEFORE
+    // touching nodes_[cur_clone]: clone_of may grow nodes_ and invalidate
+    // any reference into it.
+    const auto fields = nodes_[cur].fields;
+    for (const auto& [field, targets] : fields) {
+      for (LogicalId t : targets) {
+        const LogicalId target_clone = clone_of(ctx, t);
+        changed |= nodes_[cur_clone].fields[field].insert(target_clone).second;
+        work.push_back(t);
+      }
+    }
+    const auto elems = nodes_[cur].elems;
+    for (LogicalId t : elems) {
+      const LogicalId target_clone = clone_of(ctx, t);
+      changed |= nodes_[cur_clone].elems.insert(target_clone).second;
+      work.push_back(t);
+    }
+  }
+  changed |= nodes_.size() != nodes_before;
+  return root;
+}
+
+bool HeapAnalysis::propagate_remote(ContextKey ctx, const NodeSet& sources,
+                                    NodeSet& dest) {
+  bool changed = false;
+  for (LogicalId src : sources) {
+    const auto key = std::make_pair(ctx, src);
+    if (clone_map_.contains(key)) {
+      // Already crossed this boundary: keep the clone graph in sync with
+      // any structure the fixpoint discovered since.
+      const LogicalId root = clone_sync(ctx, src, changed);
+      changed |= dest.insert(root).second;
+      continue;
+    }
+    const ir::AllocSiteId physical = nodes_[src].physical;
+    auto& seen = propagated_[ctx];
+    if (seen.contains(physical)) {
+      // §2 / Figure 4: this physical allocation number has already been
+      // propagated to this remote boundary — stop the data-flow cycle.
+      continue;
+    }
+    seen.insert(physical);
+    const LogicalId root = clone_sync(ctx, src, changed);
+    dest.insert(root);
+    changed = true;
+  }
+  return changed;
+}
+
+bool HeapAnalysis::process_instr(const ir::Function& f, const ir::Instr& in) {
+  auto& pts = value_pts_[f.id];
+  const auto is_ref = [&](ir::ValueId v) { return f.value_type(v).is_ref(); };
+  bool changed = false;
+
+  switch (in.op) {
+    case ir::Op::Alloc:
+    case ir::Op::AllocArray:
+      changed |= pts[in.result].insert(site_to_node_.at(in.alloc_site)).second;
+      break;
+    case ir::Op::Move:
+      if (is_ref(in.operands[0])) {
+        changed |= add_all(pts[in.result], pts[in.operands[0]]);
+      }
+      break;
+    case ir::Op::Phi:
+      for (ir::ValueId o : in.operands) {
+        if (is_ref(o)) changed |= add_all(pts[in.result], pts[o]);
+      }
+      break;
+    case ir::Op::StoreField: {
+      if (!is_ref(in.operands[1])) break;  // primitive store
+      const NodeSet& objs = pts[in.operands[0]];
+      const NodeSet& vals = pts[in.operands[1]];
+      for (LogicalId o : objs) {
+        changed |= add_all(nodes_[o].fields[in.field_index], vals);
+      }
+      break;
+    }
+    case ir::Op::LoadField: {
+      if (!in.has_result() || !is_ref(in.result)) break;
+      for (LogicalId o : pts[in.operands[0]]) {
+        auto it = nodes_[o].fields.find(in.field_index);
+        if (it != nodes_[o].fields.end()) {
+          changed |= add_all(pts[in.result], it->second);
+        }
+      }
+      break;
+    }
+    case ir::Op::StoreIndex: {
+      if (!is_ref(in.operands[1])) break;
+      for (LogicalId o : pts[in.operands[0]]) {
+        changed |= add_all(nodes_[o].elems, pts[in.operands[1]]);
+      }
+      break;
+    }
+    case ir::Op::LoadIndex: {
+      if (!in.has_result() || !is_ref(in.result)) break;
+      for (LogicalId o : pts[in.operands[0]]) {
+        changed |= add_all(pts[in.result], nodes_[o].elems);
+      }
+      break;
+    }
+    case ir::Op::StoreStatic:
+      if (is_ref(in.operands[0])) {
+        changed |= add_all(global_pts_[in.global_index], pts[in.operands[0]]);
+      }
+      break;
+    case ir::Op::LoadStatic:
+      if (in.has_result() && is_ref(in.result)) {
+        changed |= add_all(pts[in.result], global_pts_[in.global_index]);
+      }
+      break;
+    case ir::Op::Call: {
+      // Local call: reference semantics, sets flow through directly.
+      const ir::Function& callee = module_.function(in.callee);
+      for (std::size_t i = 0; i < in.operands.size(); ++i) {
+        if (!is_ref(in.operands[i]) || !callee.params[i].is_ref()) continue;
+        changed |= add_all(value_pts_[callee.id][i], pts[in.operands[i]]);
+      }
+      if (in.has_result() && is_ref(in.result)) {
+        changed |= add_all(pts[in.result], return_pts_[callee.id]);
+      }
+      break;
+    }
+    case ir::Op::RemoteCall: {
+      // RMI copy semantics: clone across the boundary under the
+      // (logical, physical) tuple rule.
+      const ir::Function& callee = module_.function(in.callee);
+      for (std::size_t i = 0; i < in.operands.size(); ++i) {
+        if (!is_ref(in.operands[i]) || !callee.params[i].is_ref()) continue;
+        changed |= propagate_remote(param_context(in.callee, i),
+                                    pts[in.operands[i]],
+                                    value_pts_[callee.id][i]);
+      }
+      if (in.has_result() && is_ref(in.result)) {
+        changed |= propagate_remote(return_context(in.callsite_tag),
+                                    return_pts_[callee.id], pts[in.result]);
+      }
+      break;
+    }
+    case ir::Op::Return:
+      if (!in.operands.empty() && is_ref(in.operands[0])) {
+        changed |= add_all(return_pts_[f.id], pts[in.operands[0]]);
+      }
+      break;
+    default:
+      break;
+  }
+  return changed;
+}
+
+void HeapAnalysis::run(std::size_t max_nodes) {
+  max_nodes_ = max_nodes;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++iterations_;
+    for (std::size_t f = 0; f < module_.function_count(); ++f) {
+      const ir::Function& fn = module_.function(static_cast<ir::FuncId>(f));
+      for (const auto& block : fn.blocks) {
+        for (const auto& in : block.instrs) {
+          changed |= process_instr(fn, in);
+        }
+      }
+    }
+    RMIOPT_CHECK(iterations_ < 10'000, "heap analysis did not converge");
+  }
+  ran_ = true;
+}
+
+const NodeSet& HeapAnalysis::points_to(ir::FuncId f, ir::ValueId v) const {
+  RMIOPT_CHECK(ran_, "run() the analysis first");
+  return value_pts_.at(f).at(v);
+}
+
+const NodeSet& HeapAnalysis::global_points_to(ir::GlobalId g) const {
+  RMIOPT_CHECK(ran_, "run() the analysis first");
+  return global_pts_.at(g);
+}
+
+const NodeSet& HeapAnalysis::return_set(ir::FuncId f) const {
+  RMIOPT_CHECK(ran_, "run() the analysis first");
+  return return_pts_.at(f);
+}
+
+const HeapNode& HeapAnalysis::node(LogicalId id) const {
+  return nodes_.at(id);
+}
+
+NodeSet HeapAnalysis::reachable(const NodeSet& roots) const {
+  NodeSet visited;
+  std::vector<LogicalId> work(roots.begin(), roots.end());
+  while (!work.empty()) {
+    const LogicalId cur = work.back();
+    work.pop_back();
+    if (!visited.insert(cur).second) continue;
+    for (const auto& [field, targets] : nodes_[cur].fields) {
+      work.insert(work.end(), targets.begin(), targets.end());
+    }
+    work.insert(work.end(), nodes_[cur].elems.begin(), nodes_[cur].elems.end());
+  }
+  return visited;
+}
+
+std::vector<NodeSet> HeapAnalysis::remote_arg_sets(
+    const ir::Module::RemoteCallRef& site) const {
+  RMIOPT_CHECK(ran_, "run() the analysis first");
+  const ir::Function& caller = module_.function(site.caller);
+  std::vector<NodeSet> sets;
+  sets.reserve(site.instr->operands.size());
+  for (ir::ValueId v : site.instr->operands) {
+    if (caller.value_type(v).is_ref()) {
+      sets.push_back(points_to(site.caller, v));
+    } else {
+      sets.emplace_back();
+    }
+  }
+  return sets;
+}
+
+std::string to_string(const HeapAnalysis& heap) {
+  const om::TypeRegistry& types = heap.module().types();
+  std::ostringstream out;
+  for (std::size_t i = 0; i < heap.node_count(); ++i) {
+    const HeapNode& n = heap.node(static_cast<LogicalId>(i));
+    out << "node " << n.logical << " (site " << n.physical << ", "
+        << (n.cls != om::kNoClass ? types.get(n.cls).name : "?")
+        << (n.is_clone ? ", clone" : "") << ")\n";
+    for (const auto& [field, targets] : n.fields) {
+      const om::ClassDescriptor& cls = types.get(n.cls);
+      out << "  ." << cls.fields.at(field).name << " -> {";
+      bool first = true;
+      for (LogicalId t : targets) {
+        out << (first ? "" : ", ") << t;
+        first = false;
+      }
+      out << "}\n";
+    }
+    if (!n.elems.empty()) {
+      out << "  [] -> {";
+      bool first = true;
+      for (LogicalId t : n.elems) {
+        out << (first ? "" : ", ") << t;
+        first = false;
+      }
+      out << "}\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace rmiopt::analysis

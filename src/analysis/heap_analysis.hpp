@@ -1,0 +1,115 @@
+// Heap analysis (paper §2).
+//
+// An allocation-site-based, flow-insensitive, interprocedural points-to
+// analysis in the style of Ghiya/Hendren, extended with the paper's RMI
+// parameter semantics:
+//
+//  * every allocation site gets a node; data-flow propagates sets of node
+//    ids through moves, phis, field/array loads and stores, statics and
+//    (local) calls until a fixpoint (§2 steps 1–6);
+//  * a *remote* call copies its argument and return graphs, so the heap
+//    approximation must clone the corresponding subgraphs.  Naive cloning
+//    diverges when a cloned value flows around a loop back into the same
+//    call (Figure 3); the paper's fix is to number nodes with a
+//    (logical, physical) *tuple* — the clone gets a fresh logical id but
+//    keeps the original's physical id, and a physical id is propagated
+//    into a given remote-call context at most once (Figure 4).
+//
+// After the fixpoint the physical ids have served their purpose; clients
+// (cycle analysis, escape analysis, code generation) work with logical
+// node ids.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace rmiopt::analysis {
+
+using LogicalId = std::uint32_t;
+using NodeSet = std::set<LogicalId>;
+
+struct HeapNode {
+  LogicalId logical = 0;
+  ir::AllocSiteId physical = 0;  // fixed through cloning (§2, Fig. 4)
+  om::ClassId cls = om::kNoClass;
+  bool is_clone = false;  // created by RMI-boundary cloning
+  // field index -> may-point-to set (reference fields only)
+  std::map<std::uint32_t, NodeSet> fields;
+  // array element targets (reference arrays only)
+  NodeSet elems;
+};
+
+class HeapAnalysis {
+ public:
+  explicit HeapAnalysis(const ir::Module& module);
+
+  // Runs the data-flow to fixpoint.  Throws if the graph exceeds
+  // `max_nodes` (a diverging analysis is a bug, not an input property).
+  void run(std::size_t max_nodes = 100'000);
+
+  const ir::Module& module() const { return module_; }
+
+  // May-point-to set of an SSA value / a global.
+  const NodeSet& points_to(ir::FuncId f, ir::ValueId v) const;
+  const NodeSet& global_points_to(ir::GlobalId g) const;
+  // Union over all return statements of `f` (callee-side graph).
+  const NodeSet& return_set(ir::FuncId f) const;
+
+  const HeapNode& node(LogicalId id) const;
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t iterations() const { return iterations_; }
+
+  // All nodes reachable from `roots` through fields/elements (inclusive).
+  NodeSet reachable(const NodeSet& roots) const;
+
+  // Caller-side argument sets of a remote call instruction.
+  std::vector<NodeSet> remote_arg_sets(const ir::Module::RemoteCallRef&) const;
+
+ private:
+  // A cloning context: one per (remote callee, param) and one per
+  // (call-site tag) for the return value.
+  using ContextKey = std::uint64_t;
+  static ContextKey param_context(ir::FuncId callee, std::size_t param) {
+    return (static_cast<ContextKey>(callee) << 32) | (param << 1);
+  }
+  static ContextKey return_context(std::uint32_t callsite_tag) {
+    return (static_cast<ContextKey>(callsite_tag) << 32) | 1u;
+  }
+
+  LogicalId make_node(ir::AllocSiteId physical, om::ClassId cls,
+                      bool is_clone);
+  bool add_all(NodeSet& dest, const NodeSet& src);
+  // Get-or-create the clone of `original` in `ctx`; returns its id.
+  LogicalId clone_of(ContextKey ctx, LogicalId original);
+  // Creates/updates the clone subgraph rooted at `original` so it mirrors
+  // the current original subgraph; returns the clone root and reports via
+  // `changed` whether any clone node or edge was added.
+  LogicalId clone_sync(ContextKey ctx, LogicalId original, bool& changed);
+  // Propagates `sources` across an RMI boundary into `dest` under the
+  // tuple rule; returns true on change.
+  bool propagate_remote(ContextKey ctx, const NodeSet& sources,
+                        NodeSet& dest);
+  bool process_instr(const ir::Function& f, const ir::Instr& in);
+
+  const ir::Module& module_;
+  std::vector<HeapNode> nodes_;
+  std::map<ir::AllocSiteId, LogicalId> site_to_node_;
+  std::vector<std::vector<NodeSet>> value_pts_;  // [func][value]
+  std::vector<NodeSet> global_pts_;
+  std::vector<NodeSet> return_pts_;
+  std::map<std::pair<ContextKey, LogicalId>, LogicalId> clone_map_;
+  std::map<ContextKey, std::set<ir::AllocSiteId>> propagated_;
+  std::size_t max_nodes_ = 0;
+  std::size_t iterations_ = 0;
+  bool ran_ = false;
+};
+
+// Textual dump of the heap graph (nodes with physical site / class /
+// clone marker, and their field/element edges) in the style of the
+// paper's Figure 2 — used by the compiler_tour example and diagnostics.
+std::string to_string(const HeapAnalysis& heap);
+
+}  // namespace rmiopt::analysis

@@ -1,0 +1,22 @@
+// Shared helpers for the benchmark applications.
+#pragma once
+
+#include "apps/run_result.hpp"
+#include "net/cluster.hpp"
+#include "rmi/runtime.hpp"
+
+namespace rmiopt::apps {
+
+inline RunResult collect_run(net::Cluster& cluster, rmi::RmiSystem& sys) {
+  RunResult r;
+  r.makespan = cluster.makespan();
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    r.per_machine.push_back(sys.stats(static_cast<std::uint16_t>(i)));
+    r.total += r.per_machine.back();
+  }
+  r.messages = cluster.stats().messages.load();
+  r.bytes = cluster.stats().bytes.load();
+  return r;
+}
+
+}  // namespace rmiopt::apps

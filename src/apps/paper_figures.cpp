@@ -1,0 +1,488 @@
+#include "apps/paper_figures.hpp"
+
+namespace rmiopt::apps::figures {
+
+namespace {
+
+FigureProgram make_base() {
+  FigureProgram p;
+  p.types = std::make_unique<om::TypeRegistry>();
+  p.module = std::make_unique<ir::Module>(*p.types);
+  return p;
+}
+
+}  // namespace
+
+ir::Module::RemoteCallRef FigureProgram::site(std::uint32_t tag) const {
+  for (const auto& s : module->remote_call_sites()) {
+    if (s.instr->callsite_tag == tag) return s;
+  }
+  fail("no remote call site with tag " + std::to_string(tag));
+}
+
+FigureProgram make_figure2() {
+  FigureProgram p = make_base();
+  om::TypeRegistry& t = *p.types;
+  const om::ClassId bar = t.define_class("Bar", {});
+  const om::ClassId d1 = t.register_prim_array(om::TypeKind::Double);
+  const om::ClassId d2 = t.register_ref_array(d1);
+  const om::ClassId d3 = t.register_ref_array(d2);
+  const om::ClassId foo = t.define_class(
+      "Foo", {{"bar", om::TypeKind::Ref, bar}, {"a", om::TypeKind::Ref, d3}});
+  p.classes = {{"Bar", bar}, {"Foo", foo}, {"[D", d1}, {"[[D", d2},
+               {"[[[D", d3}};
+
+  ir::Function& main =
+      p.module->add_function("main", {}, ir::Type::void_type());
+  ir::FunctionBuilder b(*p.module, main);
+  const auto v_foo = b.alloc(foo);        // allocation 1
+  const auto v_bar = b.alloc(bar);        // allocation 2
+  b.store_field(v_foo, "bar", v_bar);
+  const auto v_a3 = b.alloc_array(d3);    // allocation 3
+  b.store_field(v_foo, "a", v_a3);
+  const auto v_a2 = b.alloc_array(d2);    // allocation 4
+  b.store_index(v_a3, v_a2);
+  const auto v_a1 = b.alloc_array(d1);    // allocation 5
+  b.store_index(v_a2, v_a1);
+  b.ret();
+  p.funcs = {{"main", main.id}};
+  return p;
+}
+
+FigureProgram make_figure3() {
+  FigureProgram p = make_base();
+  om::TypeRegistry& t = *p.types;
+  const om::ClassId data = t.define_class("Data", {});
+  p.classes = {{"Data", data}};
+
+  ir::Function& foo = p.module->add_function(
+      "Foo.foo", {ir::Type::object()}, ir::Type::object(),
+      /*is_remote_method=*/true);
+  {
+    ir::FunctionBuilder b(*p.module, foo);
+    b.ret(b.param(0));  // Object foo(Object a) { return a; }
+  }
+
+  ir::Function& zoo =
+      p.module->add_function("zoo", {}, ir::Type::void_type());
+  {
+    ir::FunctionBuilder b(*p.module, zoo);
+    const auto v_t = b.alloc(data);  // allocation (2)
+    b.set_block("loop");
+    const auto v_phi = b.phi({v_t});
+    const auto v_call = b.remote_call(foo.id, {v_phi}, /*tag=*/1);
+    b.append_phi_input(v_phi, v_call);  // t = me.foo(t) around the loop
+    b.ret();
+  }
+  p.funcs = {{"Foo.foo", foo.id}, {"zoo", zoo.id}};
+  p.tags = {{"foo", 1}};
+  return p;
+}
+
+FigureProgram make_figure5() {
+  FigureProgram p = make_base();
+  om::TypeRegistry& t = *p.types;
+  const om::ClassId base = t.define_class("Base", {});
+  const om::ClassId derived1 =
+      t.define_class("Derived1", {{"data", om::TypeKind::Int}}, base);
+  const om::ClassId derived2 = t.define_class(
+      "Derived2", {{"p", om::TypeKind::Ref, derived1}}, base);
+  p.classes = {{"Base", base}, {"Derived1", derived1},
+               {"Derived2", derived2}};
+
+  ir::Function& foo = p.module->add_function(
+      "Work.foo", {ir::Type::ref(base)}, ir::Type::void_type(),
+      /*is_remote_method=*/true);
+  {
+    ir::FunctionBuilder b(*p.module, foo);
+    b.ret();
+  }
+
+  ir::Function& go = p.module->add_function("Work.go", {},
+                                            ir::Type::void_type());
+  {
+    ir::FunctionBuilder b(*p.module, go);
+    const auto b1 = b.alloc(derived1);  // allocation (2)
+    b.remote_call(foo.id, {b1}, /*tag=*/1);
+    const auto b2 = b.alloc(derived2);  // allocation (3)
+    const auto pfield = b.alloc(derived1);  // allocation (1): Derived2.p
+    b.store_field(b2, "p", pfield);
+    b.remote_call(foo.id, {b2}, /*tag=*/2);
+    b.ret();
+  }
+  p.funcs = {{"Work.foo", foo.id}, {"Work.go", go.id}};
+  p.tags = {{"foo#1", 1}, {"foo#2", 2}};
+  return p;
+}
+
+namespace {
+
+FigureProgram make_figure8_impl(bool aliased) {
+  FigureProgram p = make_base();
+  om::TypeRegistry& t = *p.types;
+  const om::ClassId base = t.define_class("Base", {});
+  p.classes = {{"Base", base}};
+
+  ir::Function& bar = p.module->add_function(
+      "bar", {ir::Type::ref(base), ir::Type::ref(base)},
+      ir::Type::void_type(), /*is_remote_method=*/true);
+  {
+    ir::FunctionBuilder b(*p.module, bar);
+    b.ret();
+  }
+  ir::Function& foo =
+      p.module->add_function("foo", {}, ir::Type::void_type());
+  {
+    ir::FunctionBuilder b(*p.module, foo);
+    const auto v1 = b.alloc(base);  // allocation (3)
+    if (aliased) {
+      b.remote_call(bar.id, {v1, v1}, /*tag=*/1);  // bar(b, b)
+    } else {
+      const auto v2 = b.alloc(base);
+      b.remote_call(bar.id, {v1, v2}, /*tag=*/1);  // bar(b1, b2)
+    }
+    b.ret();
+  }
+  p.funcs = {{"bar", bar.id}, {"foo", foo.id}};
+  p.tags = {{"bar", 1}};
+  return p;
+}
+
+}  // namespace
+
+FigureProgram make_figure8() { return make_figure8_impl(/*aliased=*/true); }
+FigureProgram make_figure8_distinct() {
+  return make_figure8_impl(/*aliased=*/false);
+}
+
+FigureProgram make_figure9() {
+  FigureProgram p = make_base();
+  om::TypeRegistry& t = *p.types;
+  const om::ClassId base = t.declare_class("Base");
+  t.define_fields(base, {{"self", om::TypeKind::Ref, base}});
+  p.classes = {{"Base", base}};
+
+  ir::Function& bar = p.module->add_function(
+      "bar", {ir::Type::ref(base)}, ir::Type::void_type(),
+      /*is_remote_method=*/true);
+  {
+    ir::FunctionBuilder b(*p.module, bar);
+    b.ret();
+  }
+  ir::Function& foo =
+      p.module->add_function("foo", {}, ir::Type::void_type());
+  {
+    ir::FunctionBuilder b(*p.module, foo);
+    const auto v = b.alloc(base);  // allocation (4)
+    b.store_field(v, "self", v);   // b.self = b
+    b.remote_call(bar.id, {v}, /*tag=*/1);
+    b.ret();
+  }
+  p.funcs = {{"bar", bar.id}, {"foo", foo.id}};
+  p.tags = {{"bar", 1}};
+  return p;
+}
+
+FigureProgram make_figure10() {
+  FigureProgram p = make_base();
+  om::TypeRegistry& t = *p.types;
+  const om::ClassId darr = t.register_prim_array(om::TypeKind::Double);
+  p.classes = {{"[D", darr}};
+  const ir::GlobalId sum =
+      p.module->add_global("Foo.sum", ir::Type::prim(om::TypeKind::Double));
+
+  ir::Function& foo = p.module->add_function(
+      "Foo.foo", {ir::Type::ref(darr)}, ir::Type::void_type(),
+      /*is_remote_method=*/true);
+  {
+    ir::FunctionBuilder b(*p.module, foo);
+    const auto a0 = b.load_index(b.param(0));
+    const auto a1 = b.load_index(b.param(0));
+    const auto s = b.arith({a0, a1}, om::TypeKind::Double);
+    b.store_static(sum, s);  // this.sum = a[0] + a[1] (primitive)
+    b.ret();
+  }
+  ir::Function& caller =
+      p.module->add_function("caller", {}, ir::Type::void_type());
+  {
+    ir::FunctionBuilder b(*p.module, caller);
+    const auto arr = b.alloc_array(darr);
+    b.remote_call(foo.id, {arr}, /*tag=*/1);
+    b.ret();
+  }
+  p.funcs = {{"Foo.foo", foo.id}, {"caller", caller.id}};
+  p.tags = {{"foo", 1}};
+  return p;
+}
+
+FigureProgram make_figure11() {
+  FigureProgram p = make_base();
+  om::TypeRegistry& t = *p.types;
+  const om::ClassId data = t.define_class("Data", {});
+  const om::ClassId bar =
+      t.define_class("Bar", {{"d", om::TypeKind::Ref, data}});
+  p.classes = {{"Data", data}, {"Bar", bar}};
+  const ir::GlobalId g_d = p.module->add_global("Foo.d", ir::Type::ref(data));
+
+  ir::Function& foo = p.module->add_function(
+      "Foo.foo", {ir::Type::ref(bar)}, ir::Type::void_type(),
+      /*is_remote_method=*/true);
+  {
+    ir::FunctionBuilder b(*p.module, foo);
+    const auto d = b.load_field(b.param(0), "d");
+    b.store_static(g_d, d);  // d = a.d — escapes (Figure 11)
+    b.ret();
+  }
+  ir::Function& caller =
+      p.module->add_function("caller", {}, ir::Type::void_type());
+  {
+    ir::FunctionBuilder b(*p.module, caller);
+    const auto v_bar = b.alloc(bar);
+    const auto v_data = b.alloc(data);
+    b.store_field(v_bar, "d", v_data);
+    b.remote_call(foo.id, {v_bar}, /*tag=*/1);
+    b.ret();
+  }
+  p.funcs = {{"Foo.foo", foo.id}, {"caller", caller.id}};
+  p.tags = {{"foo", 1}};
+  return p;
+}
+
+FigureProgram make_figure12() {
+  FigureProgram p = make_base();
+  om::TypeRegistry& t = *p.types;
+  const om::ClassId row = t.register_prim_array(om::TypeKind::Double);
+  const om::ClassId mat = t.register_ref_array(row);
+  p.classes = {{"[D", row}, {"[[D", mat}};
+
+  ir::Function& send = p.module->add_function(
+      "ArrayBench.send", {ir::Type::ref(mat)}, ir::Type::void_type(),
+      /*is_remote_method=*/true);
+  {
+    ir::FunctionBuilder b(*p.module, send);
+    b.ret();
+  }
+  ir::Function& bench = p.module->add_function("ArrayBench.benchmark", {},
+                                               ir::Type::void_type());
+  {
+    ir::FunctionBuilder b(*p.module, bench);
+    const auto v_mat = b.alloc_array(mat);  // new double[16][16] (outer)
+    const auto v_row = b.alloc_array(row);  //   ... (inner rows)
+    b.store_index(v_mat, v_row);
+    b.remote_call(send.id, {v_mat}, /*tag=*/1);
+    b.ret();
+  }
+  p.funcs = {{"ArrayBench.send", send.id},
+             {"ArrayBench.benchmark", bench.id}};
+  p.tags = {{"send", 1}};
+  return p;
+}
+
+FigureProgram make_figure14() {
+  FigureProgram p = make_base();
+  om::TypeRegistry& t = *p.types;
+  const om::ClassId list = t.declare_class("LinkedList");
+  t.define_fields(list, {{"Next", om::TypeKind::Ref, list}});
+  p.classes = {{"LinkedList", list}};
+
+  ir::Function& send = p.module->add_function(
+      "Foo.send", {ir::Type::ref(list)}, ir::Type::void_type(),
+      /*is_remote_method=*/true);
+  {
+    ir::FunctionBuilder b(*p.module, send);
+    b.ret();
+  }
+  ir::Function& bench = p.module->add_function("Foo.benchmark", {},
+                                               ir::Type::void_type());
+  {
+    // for (i..100) head = new LinkedList(head); f.send(head);
+    // One allocation site in a loop: the node's Next may point to a node
+    // from the same site — the heap graph has a self edge.
+    ir::FunctionBuilder b(*p.module, bench);
+    b.set_block("loop");
+    const auto v_phi = b.empty_phi(ir::Type::ref(list));
+    const auto v_node = b.alloc(list);
+    b.store_field(v_node, "Next", v_phi);
+    b.append_phi_input(v_phi, v_node);
+    b.remote_call(send.id, {v_node}, /*tag=*/1);
+    b.ret();
+  }
+  p.funcs = {{"Foo.send", send.id}, {"Foo.benchmark", bench.id}};
+  p.tags = {{"send", 1}};
+  return p;
+}
+
+FigureProgram make_webserver_model() {
+  FigureProgram p = make_base();
+  om::TypeRegistry& t = *p.types;
+  const om::ClassId str = t.string_class();
+  const om::ClassId str_arr = t.register_ref_array(str);
+  p.classes = {{"String", str}, {"[LString;", str_arr}};
+  const ir::GlobalId g_pages =
+      p.module->add_global("Server.pages", ir::Type::ref(str_arr));
+
+  ir::Function& get_page = p.module->add_function(
+      "Server.get_page", {ir::Type::ref(str)}, ir::Type::ref(str),
+      /*is_remote_method=*/true);
+  {
+    ir::FunctionBuilder b(*p.module, get_page);
+    const auto table = b.load_static(g_pages);
+    const auto page = b.load_index(table);
+    b.ret(page);  // page = table[url.hashCode() % n]
+  }
+  ir::Function& init = p.module->add_function("Server.init", {},
+                                              ir::Type::void_type());
+  {
+    ir::FunctionBuilder b(*p.module, init);
+    const auto table = b.alloc_array(str_arr);
+    b.store_static(g_pages, table);
+    const auto page = b.alloc_array(str);  // the stored pages
+    b.store_index(table, page);
+    b.ret();
+  }
+  ir::Function& master = p.module->add_function("Master.serve", {},
+                                                ir::Type::void_type());
+  {
+    ir::FunctionBuilder b(*p.module, master);
+    const auto url = b.alloc_array(str);  // request URL string
+    const auto page = b.remote_call(get_page.id, {url}, /*tag=*/1);
+    b.load_index(page);  // the master forwards the page: result is used
+    b.ret();
+  }
+  p.funcs = {{"Server.get_page", get_page.id}, {"Server.init", init.id},
+             {"Master.serve", master.id}};
+  p.tags = {{"get_page", 1}};
+  return p;
+}
+
+FigureProgram make_superopt_model() {
+  FigureProgram p = make_base();
+  om::TypeRegistry& t = *p.types;
+  const om::ClassId operand = t.define_class(
+      "Operand", {{"kind", om::TypeKind::Int}, {"value", om::TypeKind::Long}});
+  const om::ClassId instr = t.define_class(
+      "Instruction", {{"opcode", om::TypeKind::Int},
+                      {"a", om::TypeKind::Ref, operand},
+                      {"b", om::TypeKind::Ref, operand},
+                      {"c", om::TypeKind::Ref, operand}});
+  const om::ClassId instr_arr = t.register_ref_array(instr);
+  const om::ClassId program = t.define_class(
+      "Program", {{"code", om::TypeKind::Ref, instr_arr}});
+  const om::ClassId prog_arr = t.register_ref_array(program);
+  p.classes = {{"Operand", operand}, {"Instruction", instr},
+               {"[LInstruction;", instr_arr}, {"Program", program}};
+  const ir::GlobalId g_queue =
+      p.module->add_global("Tester.queue", ir::Type::ref(prog_arr));
+
+  ir::Function& test = p.module->add_function(
+      "Tester.test", {ir::Type::ref(program)}, ir::Type::void_type(),
+      /*is_remote_method=*/true);
+  {
+    ir::FunctionBuilder b(*p.module, test);
+    const auto q = b.load_static(g_queue);
+    b.store_index(q, b.param(0));  // queued: the program escapes (§5.3)
+    b.ret();
+  }
+  ir::Function& init = p.module->add_function("Tester.init", {},
+                                              ir::Type::void_type());
+  {
+    ir::FunctionBuilder b(*p.module, init);
+    const auto q = b.alloc_array(prog_arr);
+    b.store_static(g_queue, q);
+    b.ret();
+  }
+  ir::Function& producer = p.module->add_function("Producer.run", {},
+                                                  ir::Type::void_type());
+  {
+    ir::FunctionBuilder b(*p.module, producer);
+    const auto v_prog = b.alloc(program);
+    const auto v_code = b.alloc_array(instr_arr);
+    b.store_field(v_prog, "code", v_code);
+    const auto v_ins = b.alloc(instr);
+    b.store_index(v_code, v_ins);
+    const auto v_a = b.alloc(operand);
+    b.store_field(v_ins, "a", v_a);
+    const auto v_b = b.alloc(operand);
+    b.store_field(v_ins, "b", v_b);
+    const auto v_c = b.alloc(operand);
+    b.store_field(v_ins, "c", v_c);
+    b.remote_call(test.id, {v_prog}, /*tag=*/1);
+    b.ret();
+  }
+  p.funcs = {{"Tester.test", test.id}, {"Tester.init", init.id},
+             {"Producer.run", producer.id}};
+  p.tags = {{"test", 1}};
+  return p;
+}
+
+FigureProgram make_lu_model() {
+  FigureProgram p = make_base();
+  om::TypeRegistry& t = *p.types;
+  const om::ClassId row = t.register_prim_array(om::TypeKind::Double);
+  const om::ClassId mat = t.register_ref_array(row);
+  p.classes = {{"[D", row}, {"[[D", mat}};
+  const ir::GlobalId g_matrix =
+      p.module->add_global("LU.matrix", ir::Type::ref(mat));
+
+  // remote void flush(long row_index, double[] data): writes the received
+  // values into the master's matrix (primitive stores only).
+  ir::Function& flush = p.module->add_function(
+      "LU.flush",
+      {ir::Type::prim(om::TypeKind::Long), ir::Type::ref(row)},
+      ir::Type::void_type(), /*is_remote_method=*/true);
+  {
+    ir::FunctionBuilder b(*p.module, flush);
+    const auto m = b.load_static(g_matrix);
+    const auto r = b.load_index(m);
+    const auto x = b.load_index(b.param(1));
+    b.store_index(r, x);  // matrix[i][j] = data[j] (primitive)
+    b.ret();
+  }
+  // remote double[] fetch_row(long row_index): returns a row of the master
+  // matrix (the workers' read path).
+  ir::Function& fetch = p.module->add_function(
+      "LU.fetch_row", {ir::Type::prim(om::TypeKind::Long)},
+      ir::Type::ref(row), /*is_remote_method=*/true);
+  {
+    ir::FunctionBuilder b(*p.module, fetch);
+    const auto m = b.load_static(g_matrix);
+    const auto r = b.load_index(m);
+    b.ret(r);
+  }
+  // remote void barrier(): blocks until all machines arrive.
+  ir::Function& barrier = p.module->add_function(
+      "LU.barrier", {}, ir::Type::void_type(), /*is_remote_method=*/true);
+  {
+    ir::FunctionBuilder b(*p.module, barrier);
+    b.ret();
+  }
+  ir::Function& init = p.module->add_function("LU.init", {},
+                                              ir::Type::void_type());
+  {
+    ir::FunctionBuilder b(*p.module, init);
+    const auto m = b.alloc_array(mat);
+    b.store_static(g_matrix, m);
+    const auto r = b.alloc_array(row);
+    b.store_index(m, r);
+    b.ret();
+  }
+  ir::Function& worker = p.module->add_function("LU.worker", {},
+                                                ir::Type::void_type());
+  {
+    ir::FunctionBuilder b(*p.module, worker);
+    const auto idx = b.const_int(0);
+    const auto fetched = b.remote_call(fetch.id, {idx}, /*tag=*/2);
+    b.load_index(fetched);  // row values are consumed: result is used
+    const auto data = b.alloc_array(row);
+    b.remote_call(flush.id, {idx, data}, /*tag=*/1);
+    b.remote_call(barrier.id, {}, /*tag=*/3);
+    b.ret();
+  }
+  p.funcs = {{"LU.flush", flush.id}, {"LU.fetch_row", fetch.id},
+             {"LU.barrier", barrier.id}, {"LU.init", init.id},
+             {"LU.worker", worker.id}};
+  p.tags = {{"flush", 1}, {"fetch_row", 2}, {"barrier", 3}};
+  return p;
+}
+
+}  // namespace rmiopt::apps::figures

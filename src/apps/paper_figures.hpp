@@ -1,0 +1,87 @@
+// IR reconstructions of the paper's running examples (Figures 2–14).
+//
+// Each factory builds a self-contained program: the classes involved, the
+// functions (remote methods and their callers), and the remote call sites
+// with stable tags.  Tests validate the analyses against the paper's
+// stated outcomes on these exact programs; the compiler_tour example prints
+// the generated code for them; the microbenchmarks (Tables 1 and 2) use
+// Figure 12 (2-D array transmission) and Figure 14 (linked list
+// transmission) as their workload models.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ir/builder.hpp"
+
+namespace rmiopt::apps::figures {
+
+struct FigureProgram {
+  std::unique_ptr<om::TypeRegistry> types;
+  std::unique_ptr<ir::Module> module;
+  std::map<std::string, om::ClassId> classes;
+  std::map<std::string, ir::FuncId> funcs;
+  std::map<std::string, std::uint32_t> tags;  // remote call sites by name
+
+  om::ClassId cls(const std::string& name) const { return classes.at(name); }
+  ir::FuncId func(const std::string& name) const { return funcs.at(name); }
+  std::uint32_t tag(const std::string& name) const { return tags.at(name); }
+
+  // The module's remote call site with the given tag.
+  ir::Module::RemoteCallRef site(std::uint32_t tag) const;
+};
+
+// Figure 2: class Foo { Bar bar; double[][][] a; } — heap-graph shape of
+// nested allocations (5 allocation sites).
+FigureProgram make_figure2();
+
+// Figures 3/4: remote Object foo(Object a){return a;} called in a loop —
+// the data-flow must terminate via the (logical, physical) tuple rule.
+FigureProgram make_figure3();
+
+// Figure 5: remote void foo(Base b) called once with Derived1, once with
+// Derived2 (which references a Derived1) — call-site specialization.
+FigureProgram make_figure5();
+
+// Figure 8: bar(b, b) — the same object passed twice needs cycle handling.
+FigureProgram make_figure8();
+// Variant: bar(b1, b2) with distinct objects — no cycle handling needed.
+FigureProgram make_figure8_distinct();
+
+// Figure 9: b.self = b — a self-referencing argument.
+FigureProgram make_figure9();
+
+// Figure 10: remote foo(double[] a) never stores a — reusable.
+FigureProgram make_figure10();
+
+// Figure 11: remote foo(Bar a) { d = a.d; } with static d — escapes.
+FigureProgram make_figure11();
+
+// Figure 12: remote void send(double[][] arr) with a 16x16 argument —
+// the 2-D array transmission benchmark (Table 2), and the program whose
+// generated unmarshaler the paper shows in Figure 13.
+FigureProgram make_figure12();
+
+// Figure 14: remote void send(LinkedList l) with a 100-element list —
+// the linked-list transmission benchmark (Table 1).  The single-site list
+// allocation makes the cycle analysis conservatively keep runtime cycle
+// detection (paper §7 admits this imprecision).
+FigureProgram make_figure14();
+
+// The paper's webserver RMI: remote Page get_page(String url) where pages
+// live in a static table (returned graph reusable at the caller; argument
+// string reusable at the callee) — Tables 7/8.
+FigureProgram make_webserver_model();
+
+// The paper's superoptimizer RMI: remote void test(Program p) where the
+// handler pushes p into a static queue — p escapes, no reuse; the program
+// graph (program -> instrs[] -> operands[]) is acyclic — Tables 5/6.
+FigureProgram make_superopt_model();
+
+// The paper's LU RMI: remote void flush(double[][] block) writing into a
+// static matrix (primitive stores only) plus remote void barrier() —
+// arguments acyclic and reusable — Tables 3/4.
+FigureProgram make_lu_model();
+
+}  // namespace rmiopt::apps::figures

@@ -1,0 +1,20 @@
+// Common result type for the benchmark applications.
+#pragma once
+
+#include <vector>
+
+#include "rmi/stats.hpp"
+#include "support/sim_time.hpp"
+
+namespace rmiopt::apps {
+
+struct RunResult {
+  SimTime makespan;                 // cluster-wide virtual wall time
+  rmi::RmiStatsSnapshot total;      // summed over machines
+  std::vector<rmi::RmiStatsSnapshot> per_machine;
+  std::uint64_t messages = 0;       // network messages
+  std::uint64_t bytes = 0;          // network bytes
+  double check = 0.0;               // app-specific correctness value
+};
+
+}  // namespace rmiopt::apps

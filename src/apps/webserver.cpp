@@ -1,0 +1,134 @@
+#include "apps/webserver.hpp"
+
+#include <cstdio>
+#include <thread>
+#include <unordered_map>
+
+#include "apps/harness.hpp"
+#include "apps/paper_figures.hpp"
+#include "driver/compile.hpp"
+#include "rmi/name_service.hpp"
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+
+namespace rmiopt::apps {
+
+namespace {
+
+std::string url_for(std::size_t page) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "/page%06zu.html", page);
+  return buf;
+}
+
+}  // namespace
+
+RunResult run_webserver(codegen::OptLevel level, const WebserverConfig& cfg) {
+  RMIOPT_CHECK(cfg.machines >= 2, "webserver needs a master and a slave");
+  figures::FigureProgram model = figures::make_webserver_model();
+  driver::CompiledProgram prog = driver::compile(*model.module, level);
+
+  net::Cluster cluster(cfg.machines, *model.types, cfg.cost);
+  rmi::RmiSystem sys(cluster, *model.types);
+  // JavaParty runtime bootstrap (class-mode stubs): the residual cycle
+  // lookups of Table 8.
+  rmi::NameService names(sys, *model.types);
+  const std::size_t slaves = cfg.machines - 1;
+
+  // ---- slave state: per-slave page table (url -> page object) -------------
+  struct Slave {
+    std::unordered_map<std::string, om::ObjRef> table;
+  };
+  std::vector<Slave> slave_state(cfg.machines);  // index by machine id
+  std::atomic<std::uint64_t> misses{0};
+
+  for (std::size_t s = 1; s < cfg.machines; ++s) {
+    om::Heap& heap = cluster.machine(s).heap();
+    for (std::size_t p = 0; p < cfg.pages; ++p) {
+      std::string body(cfg.page_size, '\0');
+      for (std::size_t i = 0; i < body.size(); ++i) {
+        body[i] = static_cast<char>('a' + (p + i) % 26);
+      }
+      slave_state[s].table.emplace(url_for(p), heap.alloc_string(body));
+    }
+  }
+
+  const auto get_page = sys.define_method(
+      "Server.get_page", [&](rmi::CallContext& ctx, auto,
+                             std::span<const om::ObjRef> args) {
+        Slave& me = slave_state[ctx.machine().id()];
+        const std::string url(args[0]->as_string_view());
+        auto it = me.table.find(url);
+        if (it == me.table.end()) {
+          ++misses;
+          return rmi::HandlerResult{};  // 404: null page
+        }
+        // The page is owned by the table; the runtime serializes it but
+        // must not free it.
+        return rmi::HandlerResult{.value = it->second};
+      });
+  const auto site = sys.add_callsite(
+      driver::to_runtime_site(prog, model.tag("get_page"), get_page));
+  const bool ret_reused = sys.callsite(site).plan->reuse_ret;
+
+  const om::ClassId server_cls = model.types->define_class("Server", {});
+  std::vector<rmi::RemoteRef> servers;
+  for (std::size_t s = 1; s < cfg.machines; ++s) {
+    servers.push_back(
+        sys.export_object(static_cast<std::uint16_t>(s),
+                          cluster.machine(s).heap().alloc(server_cls)));
+  }
+  sys.start();
+  for (std::size_t s = 0; s < slaves; ++s) {
+    names.bind(static_cast<std::uint16_t>(s + 1),
+               "Server#" + std::to_string(s), servers[s]);
+  }
+
+  // ---- master request loop ---------------------------------------------------
+  om::Heap& h0 = cluster.machine(0).heap();
+  std::vector<rmi::RemoteRef> resolved(slaves);
+  for (std::size_t s = 0; s < slaves; ++s) {
+    resolved[s] = names.lookup(0, "Server#" + std::to_string(s));
+  }
+  // The master forwards requests from `concurrent_clients` pipelines; a
+  // single pipeline is latency-bound (one RTT per page), several overlap
+  // their round trips across the slaves.
+  std::atomic<std::uint64_t> bytes_received{0};
+  const std::size_t clients =
+      std::max<std::size_t>(1, cfg.concurrent_clients);
+  auto client = [&](std::size_t id) {
+    SplitMix64 rng(cfg.seed + id);
+    const std::size_t quota =
+        cfg.requests / clients + (id < cfg.requests % clients ? 1 : 0);
+    for (std::size_t r = 0; r < quota; ++r) {
+      const std::size_t page = rng.next_below(cfg.pages);
+      const std::string url = url_for(page);
+      // Route by the URL's Java hash code, as the paper does.
+      const auto h = static_cast<std::uint32_t>(java_string_hash(url));
+      const rmi::RemoteRef& server = resolved[h % slaves];
+
+      om::ObjRef url_obj = h0.alloc_string(url);
+      om::ObjRef page_obj = sys.invoke(0, server, site, std::array{url_obj});
+      if (page_obj != nullptr) {
+        bytes_received += page_obj->length();
+        if (!ret_reused) h0.free_graph(page_obj);
+      }
+      h0.free(url_obj);
+    }
+  };
+  if (clients == 1) {
+    client(0);
+  } else {
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) threads.emplace_back(client, c);
+    for (auto& t : threads) t.join();
+  }
+  sys.stop();
+
+  RunResult r = collect_run(cluster, sys);
+  r.check = static_cast<double>(bytes_received.load());
+  RMIOPT_CHECK(misses.load() == 0, "webserver served a 404");
+  return r;
+}
+
+}  // namespace rmiopt::apps

@@ -1,0 +1,52 @@
+// The optimization levels of the paper's evaluation (§5 legend), plus the
+// introspective pre-KaRMI baseline used by ablation benchmarks.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace rmiopt::codegen {
+
+enum class OptLevel {
+  Heavy,           // runtime introspection, class names on the wire
+  Class,           // 'class' — class-specific serializers (baseline)
+  Site,            // 'site'  — call-site-specific marshalers (§3.1)
+  SiteCycle,       // 'site + cycle' — plus cycle-detection elision (§3.2)
+  SiteReuse,       // 'site + reuse' — plus argument/return reuse (§3.3)
+  SiteReuseCycle,  // 'site + reuse + cycle' — everything
+};
+
+constexpr std::string_view to_string(OptLevel l) {
+  switch (l) {
+    case OptLevel::Heavy:
+      return "introspect";
+    case OptLevel::Class:
+      return "class";
+    case OptLevel::Site:
+      return "site";
+    case OptLevel::SiteCycle:
+      return "site + cycle";
+    case OptLevel::SiteReuse:
+      return "site + reuse";
+    case OptLevel::SiteReuseCycle:
+      return "site + reuse + cycle";
+  }
+  return "?";
+}
+
+// The five rows every table in the paper reports, in paper order.
+inline constexpr std::array<OptLevel, 5> kPaperLevels = {
+    OptLevel::Class, OptLevel::Site, OptLevel::SiteCycle, OptLevel::SiteReuse,
+    OptLevel::SiteReuseCycle};
+
+constexpr bool site_specific(OptLevel l) {
+  return l != OptLevel::Heavy && l != OptLevel::Class;
+}
+constexpr bool cycle_elision(OptLevel l) {
+  return l == OptLevel::SiteCycle || l == OptLevel::SiteReuseCycle;
+}
+constexpr bool reuse_enabled(OptLevel l) {
+  return l == OptLevel::SiteReuse || l == OptLevel::SiteReuseCycle;
+}
+
+}  // namespace rmiopt::codegen

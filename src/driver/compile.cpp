@@ -1,0 +1,39 @@
+#include "driver/compile.hpp"
+
+namespace rmiopt::driver {
+
+CompiledProgram compile(const ir::Module& module, OptLevel level,
+                        const CompileOptions& options) {
+  ir::verify(module);
+
+  analysis::HeapAnalysis heap(module);
+  heap.run();
+  analysis::CycleAnalysis cycles(heap, options.precise_cycles);
+  analysis::EscapeAnalysis escapes(heap);
+  codegen::PlanGenerator gen(heap, cycles, escapes);
+
+  CompiledProgram program;
+  program.level = level;
+  program.heap_nodes = heap.node_count();
+  program.fixpoint_iterations = heap.iterations();
+  for (const auto& site : module.remote_call_sites()) {
+    codegen::CallSiteDecision decision = gen.generate(site, level);
+    const std::uint32_t tag = decision.tag;
+    program.sites.emplace(tag, std::move(decision));
+  }
+  return program;
+}
+
+rmi::CompiledCallSite to_runtime_site(const CompiledProgram& program,
+                                      std::uint32_t tag,
+                                      std::uint32_t method_id) {
+  const codegen::CallSiteDecision& decision = program.site(tag);
+  rmi::CompiledCallSite site;
+  site.plan = decision.plan->clone();
+  site.method_id = method_id;
+  site.heavy = program.level == OptLevel::Heavy;
+  site.site_specific = codegen::site_specific(program.level);
+  return site;
+}
+
+}  // namespace rmiopt::driver

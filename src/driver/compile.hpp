@@ -1,0 +1,57 @@
+// The compiler driver: runs the full analysis pipeline over an IR module
+// and produces, per optimization level, the compiled call sites the RMI
+// runtime executes.
+//
+//   IR module --verify--> heap analysis (§2) --+--> cycle analysis (§3.2)
+//                                              +--> escape analysis (§3.3)
+//                                              +--> plan generation (§3.1)
+//
+// The result maps each RemoteCall instruction's call-site *tag* to a
+// CallSiteDecision; applications bind their runtime handlers to the tags
+// via rmi::CompiledCallSite.
+#pragma once
+
+#include <map>
+
+#include "codegen/plan_generator.hpp"
+#include "rmi/runtime.hpp"
+
+namespace rmiopt::driver {
+
+using codegen::OptLevel;
+
+struct CompileOptions {
+  // Enables the §7 future-work refinement: construction-order cycle
+  // analysis that proves single-allocation-site linked lists acyclic
+  // (see analysis/cycle_analysis.hpp).
+  bool precise_cycles = false;
+};
+
+struct CompiledProgram {
+  OptLevel level = OptLevel::Class;
+  std::map<std::uint32_t, codegen::CallSiteDecision> sites;  // by tag
+
+  // Analysis diagnostics.
+  std::size_t heap_nodes = 0;
+  std::size_t fixpoint_iterations = 0;
+
+  const codegen::CallSiteDecision& site(std::uint32_t tag) const {
+    auto it = sites.find(tag);
+    RMIOPT_CHECK(it != sites.end(),
+                 "no compiled call site for tag " + std::to_string(tag));
+    return it->second;
+  }
+};
+
+// Verifies `module`, runs the analyses, and generates one plan per remote
+// call site at `level`.
+CompiledProgram compile(const ir::Module& module, OptLevel level,
+                        const CompileOptions& options = {});
+
+// Converts one compiled call site into the runtime's representation,
+// binding the application's handler.
+rmi::CompiledCallSite to_runtime_site(const CompiledProgram& program,
+                                      std::uint32_t tag,
+                                      std::uint32_t method_id);
+
+}  // namespace rmiopt::driver

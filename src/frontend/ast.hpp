@@ -1,0 +1,131 @@
+// Abstract syntax tree of MiniParty.
+//
+// MiniParty is the JavaParty-like subset the frontend accepts — enough to
+// express every program in the paper (all of Figures 2–14 plus the three
+// applications' communication structure):
+//
+//   program    := class-decl*
+//   class-decl := ['remote'] 'class' Ident ['extends' Ident]
+//                 '{' (field-decl | method-decl)* '}'
+//   field-decl := ['static'] type Ident ';'
+//   method-decl:= ['static'] (type | 'void') Ident '(' params ')' block
+//   type       := ('int'|'long'|'double'|float...|Ident) ('[' ']')*
+//   stmt       := type Ident '=' expr ';'        (local declaration)
+//              | lvalue '=' expr ';'             (assignment)
+//              | expr ';'                        (call statement)
+//              | 'return' [expr] ';'
+//              | 'while' '(' expr ')' block
+//              | 'if' '(' expr ')' block ['else' block]
+//   expr       := primary (('.' Ident ['(' args ')']) | '[' expr ']')*
+//                 with binary operators + - * / % < > <= >= == != && ||
+//   primary    := literal | 'null' | Ident | 'new' Ident '(' args ')'
+//              | 'new' type ('[' expr ']')+ | '(' expr ')'
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/lexer.hpp"
+
+namespace rmiopt::frontend {
+
+// A (possibly array) type as written: base name + array dimensions.
+struct TypeName {
+  std::string base;  // "int", "double", ... or a class name; "void"
+  int dims = 0;
+  SourceLoc loc;
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  IntLit,
+  DoubleLit,
+  Null,
+  Var,       // name
+  New,       // new C(args)
+  NewArray,  // new base[d0][d1]... (args = dimension exprs)
+  FieldGet,  // target.name
+  Index,     // target[args[0]]
+  Call,      // target.name(args) or name(args) (target may be a Var that
+             //   names a class -> static call, resolved in sema)
+  Binary,    // lhs op rhs
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::Null;
+  SourceLoc loc;
+  std::string name;          // Var / New class / FieldGet field / Call method
+  TypeName array_base;       // NewArray element type
+  ExprPtr target;            // FieldGet / Index / Call receiver (may be null)
+  std::vector<ExprPtr> args; // Call args, New args, NewArray dims, Index idx
+  ExprPtr lhs, rhs;          // Binary
+  std::string op;            // Binary operator text
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind {
+  LocalDecl,  // type name = value;
+  Assign,     // lvalue = value;   (lvalue: Var / FieldGet / Index)
+  ExprStmt,   // value;
+  Return,     // return [value];
+  While,      // while (cond) body
+  If,         // if (cond) body [else else_body]
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::ExprStmt;
+  SourceLoc loc;
+  TypeName decl_type;  // LocalDecl
+  std::string name;    // LocalDecl variable name
+  ExprPtr lvalue;      // Assign target
+  ExprPtr value;       // LocalDecl init / Assign rhs / ExprStmt / Return
+  ExprPtr cond;        // While / If
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;
+};
+
+struct ParamDecl {
+  TypeName type;
+  std::string name;
+};
+
+struct MethodDecl {
+  SourceLoc loc;
+  bool is_static = false;
+  TypeName ret;  // base == "void" for void
+  std::string name;
+  std::vector<ParamDecl> params;
+  std::vector<StmtPtr> body;
+};
+
+struct FieldDecl {
+  SourceLoc loc;
+  bool is_static = false;
+  TypeName type;
+  std::string name;
+};
+
+struct ClassDecl {
+  SourceLoc loc;
+  bool is_remote = false;
+  std::string name;
+  std::string extends;  // empty if none
+  std::vector<FieldDecl> fields;
+  std::vector<MethodDecl> methods;
+};
+
+struct ProgramAst {
+  std::vector<ClassDecl> classes;
+};
+
+// Parses MiniParty source; throws ParseError with position info.
+ProgramAst parse(std::string_view source);
+
+}  // namespace rmiopt::frontend

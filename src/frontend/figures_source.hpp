@@ -1,0 +1,280 @@
+// The paper's figure programs as MiniParty source text.
+//
+// These are the frontend twins of the hand-built IR models in
+// apps/paper_figures.cpp; tests assert both roads produce the same
+// analysis verdicts, and the frontend example compiles them from source.
+#pragma once
+
+namespace rmiopt::frontend::sources {
+
+// Figure 2: heap-graph construction example.
+inline constexpr const char* kFigure2 = R"(
+class Bar { }
+class Foo {
+  Bar bar;
+  double[][][] a;
+}
+class Main {
+  static void main() {
+    Foo foo = new Foo();
+    foo.bar = new Bar();
+    foo.a = new double[2][3][4];
+  }
+}
+)";
+
+// Figures 3/4: remote identity in a loop — the tuple-rule termination test.
+inline constexpr const char* kFigure3 = R"(
+class Data { }
+remote class Foo {
+  Data foo(Data a) {
+    return a;
+  }
+}
+class Main {
+  static void zoo() {
+    Foo me = new Foo();
+    Data t = new Data();
+    int i = 0;
+    while (i < 100000) {
+      t = me.foo(t);
+      i = i + 1;
+    }
+  }
+}
+)";
+
+// Figure 5: two call sites with different derived classes.
+inline constexpr const char* kFigure5 = R"(
+class Base { }
+class Derived1 extends Base {
+  int data;
+}
+class Derived2 extends Base {
+  Derived1 p;
+}
+remote class Work {
+  void foo(Base b) { }
+}
+class Main {
+  static void go() {
+    Work w = new Work();
+    Derived1 b1 = new Derived1();
+    w.foo(b1);
+    Derived2 b2 = new Derived2();
+    b2.p = new Derived1();
+    w.foo(b2);
+  }
+}
+)";
+
+// Figure 8: the same object passed twice.
+inline constexpr const char* kFigure8 = R"(
+class Base { }
+remote class Worker {
+  void bar(Base x, Base y) { }
+}
+class Main {
+  static void foo() {
+    Worker w = new Worker();
+    Base b = new Base();
+    w.bar(b, b);
+  }
+}
+)";
+
+// Figure 9: self reference.
+inline constexpr const char* kFigure9 = R"(
+class Base {
+  Base self;
+}
+remote class Worker {
+  void bar(Base b) { }
+}
+class Main {
+  static void foo() {
+    Worker w = new Worker();
+    Base b = new Base();
+    b.self = b;
+    w.bar(b);
+  }
+}
+)";
+
+// Figure 10: reusable argument (this.sum is per-VM remote state).
+inline constexpr const char* kFigure10 = R"(
+remote class Foo {
+  double sum;
+  void foo(double[] a) {
+    this.sum = a[0] + a[1];
+  }
+}
+class Main {
+  static void caller() {
+    Foo f = new Foo();
+    double[] arr = new double[2];
+    f.foo(arr);
+  }
+}
+)";
+
+// Figure 11: the argument's referent escapes through a static.
+inline constexpr const char* kFigure11 = R"(
+class Data { }
+class Bar {
+  Data d;
+}
+remote class Foo {
+  static Data d;
+  void foo(Bar a) {
+    Foo.d = a.d;
+  }
+}
+class Main {
+  static void caller() {
+    Foo f = new Foo();
+    Bar bar = new Bar();
+    bar.d = new Data();
+    f.foo(bar);
+  }
+}
+)";
+
+// Figure 12: 2-D array transmission (the Table 2 benchmark).
+inline constexpr const char* kFigure12 = R"(
+remote class ArrayBench {
+  void send(double[][] arr) { }
+}
+class Main {
+  static void benchmark() {
+    double[][] arr = new double[16][16];
+    ArrayBench f = new ArrayBench();
+    f.send(arr);
+  }
+}
+)";
+
+// Figure 14: linked-list transmission (the Table 1 benchmark).
+inline constexpr const char* kFigure14 = R"(
+class LinkedList {
+  LinkedList Next;
+}
+remote class Foo {
+  void send(LinkedList l) { }
+}
+class Main {
+  static void benchmark() {
+    LinkedList head = null;
+    int i = 0;
+    while (i < 100) {
+      head = new LinkedList(head);
+      i = i + 1;
+    }
+    Foo f = new Foo();
+    f.send(head);
+  }
+}
+)";
+
+// The web server's single RMI (§5.4), with a byte[] standing in for the
+// page/url strings of the runtime model.
+inline constexpr const char* kWebserver = R"(
+remote class Server {
+  static byte[][] pages;
+  byte[] get_page(byte[] url) {
+    byte[][] table = Server.pages;
+    byte[] page = table[0];
+    return page;
+  }
+  static void init() {
+    Server.pages = new byte[64][128];
+  }
+}
+class Master {
+  static void serve() {
+    Server s = new Server();
+    byte[] url = new byte[16];
+    byte[] page = s.get_page(url);
+    byte b = page[0];
+  }
+}
+)";
+
+// The superoptimizer's test RMI (§5.3): the candidate escapes into a queue.
+inline constexpr const char* kSuperopt = R"(
+class Operand {
+  int kind;
+  long value;
+}
+class Instruction {
+  int opcode;
+  Operand a;
+  Operand b;
+  Operand c;
+}
+class Program {
+  Instruction[] code;
+}
+remote class Tester {
+  static Program[] queue;
+  void test(Program p) {
+    Program[] q = Tester.queue;
+    q[0] = p;
+  }
+  static void init() {
+    Tester.queue = new Program[64];
+  }
+}
+class Producer {
+  static void run() {
+    Tester t = new Tester();
+    Program p = new Program();
+    p.code = new Instruction[3];
+    Instruction ins = new Instruction();
+    ins.a = new Operand();
+    ins.b = new Operand();
+    ins.c = new Operand();
+    p.code[0] = ins;
+    t.test(p);
+  }
+}
+)";
+
+// The LU communication structure (§5.2): pivot-row flush (reusable,
+// acyclic), row fetch (return reusable), and a barrier.
+inline constexpr const char* kLu = R"(
+remote class LU {
+  static double[][] matrix;
+  void flush(long row, double[] data) {
+    double[][] m = LU.matrix;
+    double[] r = m[0];
+    double x = data[0];
+    r[0] = x;
+  }
+  double[] fetch_row(long row) {
+    double[][] m = LU.matrix;
+    double[] r = m[0];
+    return r;
+  }
+  void barrier() { }
+  static void init() {
+    LU.matrix = new double[256][256];
+  }
+}
+class Worker {
+  static void run() {
+    LU lu = new LU();
+    double[] buf = new double[256];
+    long k = 0;
+    while (k < 256) {
+      lu.flush(k, buf);
+      double[] row = lu.fetch_row(k);
+      double x = row[0];
+      lu.barrier();
+      k = k + 1;
+    }
+  }
+}
+)";
+
+}  // namespace rmiopt::frontend::sources

@@ -1,0 +1,294 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace rmiopt::frontend {
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keywords() {
+  static const std::unordered_map<std::string_view, Tok> kw = {
+      {"class", Tok::KwClass},     {"remote", Tok::KwRemote},
+      {"extends", Tok::KwExtends}, {"static", Tok::KwStatic},
+      {"void", Tok::KwVoid},       {"new", Tok::KwNew},
+      {"return", Tok::KwReturn},   {"while", Tok::KwWhile},
+      {"if", Tok::KwIf},           {"else", Tok::KwElse},
+      {"null", Tok::KwNull},       {"int", Tok::KwPrim},
+      {"long", Tok::KwPrim},       {"double", Tok::KwPrim},
+      {"float", Tok::KwPrim},      {"short", Tok::KwPrim},
+      {"byte", Tok::KwPrim},       {"boolean", Tok::KwPrim},
+  };
+  return kw;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_trivia();
+      Token t = next();
+      out.push_back(t);
+      if (t.kind == Tok::End) break;
+    }
+    return out;
+  }
+
+ private:
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++loc_.line;
+      loc_.column = 1;
+    } else {
+      ++loc_.column;
+    }
+    return c;
+  }
+  bool at_end() const { return pos_ >= src_.size(); }
+
+  void skip_trivia() {
+    while (!at_end()) {
+      const char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (!at_end() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        const SourceLoc start = loc_;
+        advance();
+        advance();
+        while (!(peek() == '*' && peek(1) == '/')) {
+          if (at_end()) throw ParseError(start, "unterminated comment");
+          advance();
+        }
+        advance();
+        advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token make(Tok kind, std::string text, SourceLoc loc) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.loc = loc;
+    return t;
+  }
+
+  Token next() {
+    const SourceLoc loc = loc_;
+    if (at_end()) return make(Tok::End, "", loc);
+    const char c = peek();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_') {
+        word.push_back(advance());
+      }
+      auto it = keywords().find(word);
+      if (it != keywords().end()) return make(it->second, std::move(word), loc);
+      return make(Tok::Identifier, std::move(word), loc);
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      bool is_double = false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        num.push_back(advance());
+      }
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_double = true;
+        num.push_back(advance());
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+          num.push_back(advance());
+        }
+      }
+      Token t = make(is_double ? Tok::DoubleLiteral : Tok::IntLiteral, num,
+                     loc);
+      if (is_double) {
+        t.double_value = std::stod(num);
+      } else {
+        t.int_value = std::stoll(num);
+      }
+      return t;
+    }
+
+    advance();
+    switch (c) {
+      case '{':
+        return make(Tok::LBrace, "{", loc);
+      case '}':
+        return make(Tok::RBrace, "}", loc);
+      case '(':
+        return make(Tok::LParen, "(", loc);
+      case ')':
+        return make(Tok::RParen, ")", loc);
+      case '[':
+        return make(Tok::LBracket, "[", loc);
+      case ']':
+        return make(Tok::RBracket, "]", loc);
+      case ';':
+        return make(Tok::Semicolon, ";", loc);
+      case ',':
+        return make(Tok::Comma, ",", loc);
+      case '.':
+        return make(Tok::Dot, ".", loc);
+      case '+':
+        return make(Tok::Plus, "+", loc);
+      case '-':
+        return make(Tok::Minus, "-", loc);
+      case '*':
+        return make(Tok::Star, "*", loc);
+      case '/':
+        return make(Tok::Slash, "/", loc);
+      case '%':
+        return make(Tok::Percent, "%", loc);
+      case '=':
+        if (peek() == '=') {
+          advance();
+          return make(Tok::EqEq, "==", loc);
+        }
+        return make(Tok::Assign, "=", loc);
+      case '<':
+        if (peek() == '=') {
+          advance();
+          return make(Tok::Le, "<=", loc);
+        }
+        return make(Tok::Lt, "<", loc);
+      case '>':
+        if (peek() == '=') {
+          advance();
+          return make(Tok::Ge, ">=", loc);
+        }
+        return make(Tok::Gt, ">", loc);
+      case '!':
+        if (peek() == '=') {
+          advance();
+          return make(Tok::NotEq, "!=", loc);
+        }
+        return make(Tok::Not, "!", loc);
+      case '&':
+        if (peek() == '&') {
+          advance();
+          return make(Tok::AndAnd, "&&", loc);
+        }
+        throw ParseError(loc, "stray '&'");
+      case '|':
+        if (peek() == '|') {
+          advance();
+          return make(Tok::OrOr, "||", loc);
+        }
+        throw ParseError(loc, "stray '|'");
+      default:
+        throw ParseError(loc, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  SourceLoc loc_;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  return Lexer(source).run();
+}
+
+std::string_view token_name(Tok t) {
+  switch (t) {
+    case Tok::Identifier:
+      return "identifier";
+    case Tok::IntLiteral:
+      return "integer literal";
+    case Tok::DoubleLiteral:
+      return "double literal";
+    case Tok::KwClass:
+      return "'class'";
+    case Tok::KwRemote:
+      return "'remote'";
+    case Tok::KwExtends:
+      return "'extends'";
+    case Tok::KwStatic:
+      return "'static'";
+    case Tok::KwVoid:
+      return "'void'";
+    case Tok::KwNew:
+      return "'new'";
+    case Tok::KwReturn:
+      return "'return'";
+    case Tok::KwWhile:
+      return "'while'";
+    case Tok::KwIf:
+      return "'if'";
+    case Tok::KwElse:
+      return "'else'";
+    case Tok::KwNull:
+      return "'null'";
+    case Tok::KwPrim:
+      return "primitive type";
+    case Tok::LBrace:
+      return "'{'";
+    case Tok::RBrace:
+      return "'}'";
+    case Tok::LParen:
+      return "'('";
+    case Tok::RParen:
+      return "')'";
+    case Tok::LBracket:
+      return "'['";
+    case Tok::RBracket:
+      return "']'";
+    case Tok::Semicolon:
+      return "';'";
+    case Tok::Comma:
+      return "','";
+    case Tok::Dot:
+      return "'.'";
+    case Tok::Assign:
+      return "'='";
+    case Tok::Plus:
+      return "'+'";
+    case Tok::Minus:
+      return "'-'";
+    case Tok::Star:
+      return "'*'";
+    case Tok::Slash:
+      return "'/'";
+    case Tok::Percent:
+      return "'%'";
+    case Tok::Lt:
+      return "'<'";
+    case Tok::Gt:
+      return "'>'";
+    case Tok::Le:
+      return "'<='";
+    case Tok::Ge:
+      return "'>='";
+    case Tok::EqEq:
+      return "'=='";
+    case Tok::NotEq:
+      return "'!='";
+    case Tok::AndAnd:
+      return "'&&'";
+    case Tok::OrOr:
+      return "'||'";
+    case Tok::Not:
+      return "'!'";
+    case Tok::End:
+      return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace rmiopt::frontend

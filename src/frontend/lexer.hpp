@@ -1,0 +1,90 @@
+// Lexer for MiniParty, the JavaParty-like surface language of the
+// frontend (see parser.hpp for the grammar).  Tokens carry source
+// positions for diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace rmiopt::frontend {
+
+enum class Tok : std::uint8_t {
+  // literals / identifiers
+  Identifier,
+  IntLiteral,
+  DoubleLiteral,
+  // keywords
+  KwClass,
+  KwRemote,
+  KwExtends,
+  KwStatic,
+  KwVoid,
+  KwNew,
+  KwReturn,
+  KwWhile,
+  KwIf,
+  KwElse,
+  KwNull,
+  KwPrim,  // int long double float short byte boolean (name in text)
+  // punctuation
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Dot,
+  Assign,  // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  EqEq,
+  NotEq,
+  AndAnd,
+  OrOr,
+  Not,
+  End,
+};
+
+struct SourceLoc {
+  int line = 1;
+  int column = 1;
+  std::string to_string() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  SourceLoc loc;
+};
+
+// Raised with a source position on any frontend failure.
+class ParseError : public Error {
+ public:
+  ParseError(const SourceLoc& loc, const std::string& msg)
+      : Error(loc.to_string() + ": " + msg) {}
+};
+
+// Tokenizes the whole input (// and /* */ comments skipped); throws
+// ParseError on malformed input.  The final token is Tok::End.
+std::vector<Token> lex(std::string_view source);
+
+std::string_view token_name(Tok t);
+
+}  // namespace rmiopt::frontend

@@ -1,0 +1,363 @@
+// Recursive-descent parser for MiniParty (grammar in ast.hpp).
+#include "frontend/ast.hpp"
+
+namespace rmiopt::frontend {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  ProgramAst run() {
+    ProgramAst prog;
+    while (!check(Tok::End)) {
+      prog.classes.push_back(parse_class());
+    }
+    return prog;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, toks_.size() - 1);
+    return toks_[i];
+  }
+  bool check(Tok t) const { return peek().kind == t; }
+  const Token& advance() { return toks_[pos_++]; }
+  bool match(Tok t) {
+    if (!check(t)) return false;
+    advance();
+    return true;
+  }
+  const Token& expect(Tok t, const char* what) {
+    if (!check(t)) {
+      throw ParseError(peek().loc,
+                       std::string("expected ") + what + " (" +
+                           std::string(token_name(t)) + "), found " +
+                           std::string(token_name(peek().kind)) +
+                           (peek().text.empty() ? "" : " '" + peek().text + "'"));
+    }
+    return advance();
+  }
+
+  // ---- declarations ---------------------------------------------------------
+
+  ClassDecl parse_class() {
+    ClassDecl cls;
+    cls.loc = peek().loc;
+    cls.is_remote = match(Tok::KwRemote);
+    expect(Tok::KwClass, "'class'");
+    cls.name = expect(Tok::Identifier, "class name").text;
+    if (match(Tok::KwExtends)) {
+      cls.extends = expect(Tok::Identifier, "superclass name").text;
+    }
+    expect(Tok::LBrace, "'{'");
+    while (!match(Tok::RBrace)) {
+      parse_member(cls);
+    }
+    return cls;
+  }
+
+  void parse_member(ClassDecl& cls) {
+    const SourceLoc loc = peek().loc;
+    const bool is_static = match(Tok::KwStatic);
+
+    TypeName type;
+    if (match(Tok::KwVoid)) {
+      type.base = "void";
+      type.loc = loc;
+    } else {
+      type = parse_type();
+    }
+    const std::string name = expect(Tok::Identifier, "member name").text;
+
+    if (check(Tok::LParen)) {
+      MethodDecl m;
+      m.loc = loc;
+      m.is_static = is_static;
+      m.ret = type;
+      m.name = name;
+      expect(Tok::LParen, "'('");
+      if (!check(Tok::RParen)) {
+        do {
+          ParamDecl p;
+          p.type = parse_type();
+          p.name = expect(Tok::Identifier, "parameter name").text;
+          m.params.push_back(std::move(p));
+        } while (match(Tok::Comma));
+      }
+      expect(Tok::RParen, "')'");
+      m.body = parse_block();
+      cls.methods.push_back(std::move(m));
+      return;
+    }
+
+    RMIOPT_CHECK(type.base != "void", "fields cannot be void");
+    FieldDecl f;
+    f.loc = loc;
+    f.is_static = is_static;
+    f.type = type;
+    f.name = name;
+    expect(Tok::Semicolon, "';' after field");
+    cls.fields.push_back(std::move(f));
+  }
+
+  TypeName parse_type() {
+    TypeName t;
+    t.loc = peek().loc;
+    if (check(Tok::KwPrim)) {
+      t.base = advance().text;
+    } else {
+      t.base = expect(Tok::Identifier, "type name").text;
+    }
+    while (check(Tok::LBracket) && peek(1).kind == Tok::RBracket) {
+      advance();
+      advance();
+      ++t.dims;
+    }
+    return t;
+  }
+
+  // ---- statements -----------------------------------------------------------
+
+  std::vector<StmtPtr> parse_block() {
+    expect(Tok::LBrace, "'{'");
+    std::vector<StmtPtr> stmts;
+    while (!match(Tok::RBrace)) {
+      stmts.push_back(parse_stmt());
+    }
+    return stmts;
+  }
+
+  StmtPtr parse_stmt() {
+    auto s = std::make_unique<Stmt>();
+    s->loc = peek().loc;
+
+    if (match(Tok::KwReturn)) {
+      s->kind = StmtKind::Return;
+      if (!check(Tok::Semicolon)) s->value = parse_expr();
+      expect(Tok::Semicolon, "';'");
+      return s;
+    }
+    if (match(Tok::KwWhile)) {
+      s->kind = StmtKind::While;
+      expect(Tok::LParen, "'('");
+      s->cond = parse_expr();
+      expect(Tok::RParen, "')'");
+      s->body = parse_block();
+      return s;
+    }
+    if (match(Tok::KwIf)) {
+      s->kind = StmtKind::If;
+      expect(Tok::LParen, "'('");
+      s->cond = parse_expr();
+      expect(Tok::RParen, "')'");
+      s->body = parse_block();
+      if (match(Tok::KwElse)) s->else_body = parse_block();
+      return s;
+    }
+
+    // Local declaration: `Type name = expr;` — distinguished from an
+    // expression by lookahead: (prim | Ident) followed by Ident, or by
+    // `[` `]` (array type).
+    if (looks_like_decl()) {
+      s->kind = StmtKind::LocalDecl;
+      s->decl_type = parse_type();
+      s->name = expect(Tok::Identifier, "variable name").text;
+      expect(Tok::Assign, "'=' (locals must be initialized)");
+      s->value = parse_expr();
+      expect(Tok::Semicolon, "';'");
+      return s;
+    }
+
+    ExprPtr e = parse_expr();
+    if (match(Tok::Assign)) {
+      s->kind = StmtKind::Assign;
+      s->lvalue = std::move(e);
+      s->value = parse_expr();
+    } else {
+      s->kind = StmtKind::ExprStmt;
+      s->value = std::move(e);
+    }
+    expect(Tok::Semicolon, "';'");
+    return s;
+  }
+
+  bool looks_like_decl() const {
+    if (check(Tok::KwPrim)) return true;
+    if (!check(Tok::Identifier)) return false;
+    std::size_t i = 1;
+    while (peek(i).kind == Tok::LBracket && peek(i + 1).kind == Tok::RBracket) {
+      i += 2;
+    }
+    return peek(i).kind == Tok::Identifier;
+  }
+
+  // ---- expressions ----------------------------------------------------------
+
+  ExprPtr parse_expr() { return parse_binary(0); }
+
+  static int precedence(Tok t) {
+    switch (t) {
+      case Tok::OrOr:
+        return 1;
+      case Tok::AndAnd:
+        return 2;
+      case Tok::EqEq:
+      case Tok::NotEq:
+        return 3;
+      case Tok::Lt:
+      case Tok::Gt:
+      case Tok::Le:
+      case Tok::Ge:
+        return 4;
+      case Tok::Plus:
+      case Tok::Minus:
+        return 5;
+      case Tok::Star:
+      case Tok::Slash:
+      case Tok::Percent:
+        return 6;
+      default:
+        return 0;
+    }
+  }
+
+  ExprPtr parse_binary(int min_prec) {
+    ExprPtr lhs = parse_postfix();
+    while (true) {
+      const int prec = precedence(peek().kind);
+      if (prec == 0 || prec < min_prec) return lhs;
+      const Token op = advance();
+      ExprPtr rhs = parse_binary(prec + 1);
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::Binary;
+      e->loc = op.loc;
+      e->op = op.text;
+      e->lhs = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr e = parse_primary();
+    while (true) {
+      if (match(Tok::Dot)) {
+        const Token name = expect(Tok::Identifier, "member name");
+        if (check(Tok::LParen)) {
+          auto call = std::make_unique<Expr>();
+          call->kind = ExprKind::Call;
+          call->loc = name.loc;
+          call->name = name.text;
+          call->target = std::move(e);
+          call->args = parse_args();
+          e = std::move(call);
+        } else {
+          auto get = std::make_unique<Expr>();
+          get->kind = ExprKind::FieldGet;
+          get->loc = name.loc;
+          get->name = name.text;
+          get->target = std::move(e);
+          e = std::move(get);
+        }
+      } else if (check(Tok::LBracket)) {
+        const SourceLoc loc = advance().loc;
+        auto idx = std::make_unique<Expr>();
+        idx->kind = ExprKind::Index;
+        idx->loc = loc;
+        idx->target = std::move(e);
+        idx->args.push_back(parse_expr());
+        expect(Tok::RBracket, "']'");
+        e = std::move(idx);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  std::vector<ExprPtr> parse_args() {
+    expect(Tok::LParen, "'('");
+    std::vector<ExprPtr> args;
+    if (!check(Tok::RParen)) {
+      do {
+        args.push_back(parse_expr());
+      } while (match(Tok::Comma));
+    }
+    expect(Tok::RParen, "')'");
+    return args;
+  }
+
+  ExprPtr parse_primary() {
+    auto e = std::make_unique<Expr>();
+    e->loc = peek().loc;
+    if (check(Tok::IntLiteral)) {
+      e->kind = ExprKind::IntLit;
+      e->int_value = advance().int_value;
+      return e;
+    }
+    if (check(Tok::DoubleLiteral)) {
+      e->kind = ExprKind::DoubleLit;
+      e->double_value = advance().double_value;
+      return e;
+    }
+    if (match(Tok::KwNull)) {
+      e->kind = ExprKind::Null;
+      return e;
+    }
+    if (match(Tok::LParen)) {
+      ExprPtr inner = parse_expr();
+      expect(Tok::RParen, "')'");
+      return inner;
+    }
+    if (match(Tok::KwNew)) {
+      TypeName base;
+      base.loc = peek().loc;
+      base.base = check(Tok::KwPrim)
+                      ? advance().text
+                      : expect(Tok::Identifier, "type after 'new'").text;
+      if (check(Tok::LBracket)) {
+        e->kind = ExprKind::NewArray;
+        e->array_base = base;
+        while (check(Tok::LBracket)) {
+          advance();
+          e->args.push_back(parse_expr());
+          expect(Tok::RBracket, "']'");
+        }
+        return e;
+      }
+      e->kind = ExprKind::New;
+      e->name = base.base;
+      e->args = parse_args();
+      return e;
+    }
+    if (check(Tok::Identifier)) {
+      e->kind = ExprKind::Var;
+      e->name = advance().text;
+      if (check(Tok::LParen)) {
+        // bare call: method on the current class (static context)
+        auto call = std::make_unique<Expr>();
+        call->kind = ExprKind::Call;
+        call->loc = e->loc;
+        call->name = e->name;
+        call->args = parse_args();
+        return call;
+      }
+      return e;
+    }
+    throw ParseError(peek().loc,
+                     "expected an expression, found " +
+                         std::string(token_name(peek().kind)));
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ProgramAst parse(std::string_view source) {
+  return Parser(lex(source)).run();
+}
+
+}  // namespace rmiopt::frontend

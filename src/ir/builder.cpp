@@ -1,0 +1,234 @@
+#include "ir/builder.hpp"
+
+namespace rmiopt::ir {
+
+FunctionBuilder::FunctionBuilder(Module& module, Function& func)
+    : module_(module), func_(func) {
+  if (func_.blocks.empty()) func_.blocks.push_back(BasicBlock{"entry", {}});
+}
+
+ValueId FunctionBuilder::param(std::size_t i) const {
+  RMIOPT_CHECK(i < func_.params.size(), "parameter index out of range");
+  return static_cast<ValueId>(i);
+}
+
+void FunctionBuilder::set_block(std::string label) {
+  func_.blocks.push_back(BasicBlock{std::move(label), {}});
+}
+
+ValueId FunctionBuilder::new_value(Type t) {
+  func_.value_types.push_back(t);
+  return func_.value_count++;
+}
+
+Instr& FunctionBuilder::emit(Instr instr) {
+  func_.blocks.back().instrs.push_back(std::move(instr));
+  return func_.blocks.back().instrs.back();
+}
+
+const om::ClassDescriptor& FunctionBuilder::class_of(ValueId obj) const {
+  const Type& t = func_.value_type(obj);
+  RMIOPT_CHECK(t.is_ref(), "value is not a reference");
+  RMIOPT_CHECK(t.class_id != om::kNoClass,
+               "field access on statically unknown class");
+  return module_.types().get(t.class_id);
+}
+
+std::uint32_t FunctionBuilder::field_index_of(
+    const om::ClassDescriptor& cls, const std::string& field) const {
+  for (std::size_t i = 0; i < cls.fields.size(); ++i) {
+    if (cls.fields[i].name == field) return static_cast<std::uint32_t>(i);
+  }
+  fail("class " + cls.name + " has no field '" + field + "'");
+}
+
+ValueId FunctionBuilder::alloc(om::ClassId cls) {
+  RMIOPT_CHECK(!module_.types().get(cls).is_array,
+               "use alloc_array for arrays");
+  Instr in;
+  in.op = Op::Alloc;
+  in.class_id = cls;
+  in.alloc_site = module_.next_alloc_site();
+  in.type = Type::ref(cls);
+  in.result = new_value(in.type);
+  return emit(std::move(in)).result;
+}
+
+ValueId FunctionBuilder::alloc_array(om::ClassId array_cls, ValueId length) {
+  RMIOPT_CHECK(module_.types().get(array_cls).is_array,
+               "alloc_array requires an array class");
+  Instr in;
+  in.op = Op::AllocArray;
+  in.class_id = array_cls;
+  in.alloc_site = module_.next_alloc_site();
+  if (length != kNoValue) in.operands.push_back(length);
+  in.type = Type::ref(array_cls);
+  in.result = new_value(in.type);
+  return emit(std::move(in)).result;
+}
+
+ValueId FunctionBuilder::const_int(std::int64_t v) {
+  Instr in;
+  in.op = Op::ConstInt;
+  in.imm = v;
+  in.type = Type::prim(om::TypeKind::Long);
+  in.result = new_value(in.type);
+  return emit(std::move(in)).result;
+}
+
+ValueId FunctionBuilder::const_null(om::ClassId cls) {
+  Instr in;
+  in.op = Op::ConstNull;
+  in.type = Type::ref(cls);
+  in.result = new_value(in.type);
+  return emit(std::move(in)).result;
+}
+
+ValueId FunctionBuilder::move(ValueId src) {
+  Instr in;
+  in.op = Op::Move;
+  in.operands = {src};
+  in.type = func_.value_type(src);
+  in.result = new_value(in.type);
+  return emit(std::move(in)).result;
+}
+
+void FunctionBuilder::append_phi_input(ValueId phi_result, ValueId input) {
+  for (auto& block : func_.blocks) {
+    for (auto& in : block.instrs) {
+      if (in.op == Op::Phi && in.result == phi_result) {
+        in.operands.push_back(input);
+        return;
+      }
+    }
+  }
+  fail("append_phi_input: no such phi");
+}
+
+ValueId FunctionBuilder::phi(std::vector<ValueId> inputs) {
+  RMIOPT_CHECK(!inputs.empty(), "phi needs inputs (or use empty_phi)");
+  Instr in;
+  in.op = Op::Phi;
+  in.type = func_.value_type(inputs[0]);
+  in.operands = std::move(inputs);
+  in.result = new_value(in.type);
+  return emit(std::move(in)).result;
+}
+
+ValueId FunctionBuilder::empty_phi(Type t) {
+  Instr in;
+  in.op = Op::Phi;
+  in.type = t;
+  in.result = new_value(in.type);
+  return emit(std::move(in)).result;
+}
+
+ValueId FunctionBuilder::arith(std::vector<ValueId> inputs,
+                               om::TypeKind result) {
+  Instr in;
+  in.op = Op::Arith;
+  in.operands = std::move(inputs);
+  in.type = Type::prim(result);
+  in.result = new_value(in.type);
+  return emit(std::move(in)).result;
+}
+
+ValueId FunctionBuilder::load_field(ValueId obj, const std::string& field) {
+  const om::ClassDescriptor& cls = class_of(obj);
+  const std::uint32_t idx = field_index_of(cls, field);
+  const om::FieldDescriptor& f = cls.fields[idx];
+  Instr in;
+  in.op = Op::LoadField;
+  in.operands = {obj};
+  in.field_index = idx;
+  in.type = f.kind == om::TypeKind::Ref ? Type::ref(f.ref_class)
+                                        : Type::prim(f.kind);
+  in.result = new_value(in.type);
+  return emit(std::move(in)).result;
+}
+
+void FunctionBuilder::store_field(ValueId obj, const std::string& field,
+                                  ValueId value) {
+  const om::ClassDescriptor& cls = class_of(obj);
+  Instr in;
+  in.op = Op::StoreField;
+  in.operands = {obj, value};
+  in.field_index = field_index_of(cls, field);
+  emit(std::move(in));
+}
+
+ValueId FunctionBuilder::load_index(ValueId array) {
+  const om::ClassDescriptor& cls = class_of(array);
+  RMIOPT_CHECK(cls.is_array, "load_index on non-array");
+  Instr in;
+  in.op = Op::LoadIndex;
+  in.operands = {array};
+  in.type = cls.elem_kind == om::TypeKind::Ref ? Type::ref(cls.elem_class)
+                                               : Type::prim(cls.elem_kind);
+  in.result = new_value(in.type);
+  return emit(std::move(in)).result;
+}
+
+void FunctionBuilder::store_index(ValueId array, ValueId value) {
+  RMIOPT_CHECK(class_of(array).is_array, "store_index on non-array");
+  Instr in;
+  in.op = Op::StoreIndex;
+  in.operands = {array, value};
+  emit(std::move(in));
+}
+
+ValueId FunctionBuilder::load_static(GlobalId g) {
+  Instr in;
+  in.op = Op::LoadStatic;
+  in.global_index = g;
+  in.type = module_.global(g).type;
+  in.result = new_value(in.type);
+  return emit(std::move(in)).result;
+}
+
+void FunctionBuilder::store_static(GlobalId g, ValueId value) {
+  Instr in;
+  in.op = Op::StoreStatic;
+  in.global_index = g;
+  in.operands = {value};
+  emit(std::move(in));
+}
+
+ValueId FunctionBuilder::call(FuncId callee, std::vector<ValueId> args) {
+  const Function& target = module_.function(callee);
+  RMIOPT_CHECK(args.size() == target.params.size(),
+               "argument count mismatch calling " + target.name);
+  Instr in;
+  in.op = Op::Call;
+  in.callee = callee;
+  in.operands = std::move(args);
+  in.type = target.ret;
+  if (!target.ret.is_void) in.result = new_value(in.type);
+  return emit(std::move(in)).result;
+}
+
+ValueId FunctionBuilder::remote_call(FuncId callee, std::vector<ValueId> args,
+                                     std::uint32_t tag) {
+  const Function& target = module_.function(callee);
+  RMIOPT_CHECK(target.is_remote_method,
+               "remote_call target must be a remote method");
+  RMIOPT_CHECK(args.size() == target.params.size(),
+               "argument count mismatch calling " + target.name);
+  Instr in;
+  in.op = Op::RemoteCall;
+  in.callee = callee;
+  in.callsite_tag = tag;
+  in.operands = std::move(args);
+  in.type = target.ret;
+  if (!target.ret.is_void) in.result = new_value(in.type);
+  return emit(std::move(in)).result;
+}
+
+void FunctionBuilder::ret(ValueId value) {
+  Instr in;
+  in.op = Op::Return;
+  if (value != kNoValue) in.operands.push_back(value);
+  emit(std::move(in));
+}
+
+}  // namespace rmiopt::ir

@@ -1,0 +1,64 @@
+// FunctionBuilder: fluent construction of SSA IR.
+//
+// Field accesses are written by field *name*; the builder resolves them
+// against the TypeRegistry descriptor of the object operand's static class
+// and stores the field index, so analyses never do string lookups.
+#pragma once
+
+#include "ir/module.hpp"
+
+namespace rmiopt::ir {
+
+class FunctionBuilder {
+ public:
+  FunctionBuilder(Module& module, Function& func);
+
+  // Parameters are values 0..params-1.
+  ValueId param(std::size_t i) const;
+
+  void set_block(std::string label);  // starts a new basic block
+
+  ValueId alloc(om::ClassId cls);
+  ValueId alloc_array(om::ClassId array_cls,
+                      ValueId length = kNoValue);
+  ValueId const_int(std::int64_t v);
+  ValueId const_null(om::ClassId cls = om::kNoClass);
+  ValueId move(ValueId src);
+  ValueId phi(std::vector<ValueId> inputs);
+  // A phi whose inputs are all back edges (appended later); the type must
+  // be given explicitly.
+  ValueId empty_phi(Type t);
+  // Appends a loop back-edge input to an existing phi (the value may be
+  // defined later in listing order, as SSA back edges are).
+  void append_phi_input(ValueId phi_result, ValueId input);
+  ValueId arith(std::vector<ValueId> inputs,
+                om::TypeKind result = om::TypeKind::Int);
+
+  ValueId load_field(ValueId obj, const std::string& field);
+  void store_field(ValueId obj, const std::string& field, ValueId value);
+  ValueId load_index(ValueId array);
+  void store_index(ValueId array, ValueId value);
+
+  ValueId load_static(GlobalId g);
+  void store_static(GlobalId g, ValueId value);
+
+  ValueId call(FuncId callee, std::vector<ValueId> args);
+  // `tag` is a stable application-chosen id used to match the compiled
+  // call site to the runtime call site (one tag per static RMI call).
+  ValueId remote_call(FuncId callee, std::vector<ValueId> args,
+                      std::uint32_t tag);
+
+  void ret(ValueId value = kNoValue);
+
+ private:
+  ValueId new_value(Type t);
+  Instr& emit(Instr instr);
+  const om::ClassDescriptor& class_of(ValueId obj) const;
+  std::uint32_t field_index_of(const om::ClassDescriptor& cls,
+                               const std::string& field) const;
+
+  Module& module_;
+  Function& func_;
+};
+
+}  // namespace rmiopt::ir

@@ -1,0 +1,62 @@
+// Instructions of the mini-language IR.
+//
+// The IR is in SSA form by construction: the builder assigns every result a
+// fresh value id and merge points use explicit Phi instructions (§2 step 1:
+// "convert all code to SSA form").  Control flow is kept minimal — the
+// paper's heap analysis is a flow-insensitive fixpoint over assignments
+// (steps 3–6), so basic blocks only group instructions for readability.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.hpp"
+
+namespace rmiopt::ir {
+
+using ValueId = std::uint32_t;
+inline constexpr ValueId kNoValue = 0xffffffffu;
+using FuncId = std::uint32_t;
+using GlobalId = std::uint32_t;
+
+// Global numbering of object allocation sites (§2 step 2).
+using AllocSiteId = std::uint32_t;
+
+enum class Op : std::uint8_t {
+  Alloc,        // result = new C                  [class_id, alloc_site]
+  AllocArray,   // result = new T[...]             [class_id, alloc_site]
+  ConstInt,     // result = constant               [imm]
+  ConstNull,    // result = null (typed reference)
+  Move,         // result = operand0
+  Phi,          // result = phi(operands...)
+  Arith,        // result = op(operands...)        opaque primitive compute
+  LoadField,    // result = operand0.f             [field_index]
+  StoreField,   // operand0.f = operand1           [field_index]
+  LoadIndex,    // result = operand0[*]
+  StoreIndex,   // operand0[*] = operand1
+  LoadStatic,   // result = G                      [global_index]
+  StoreStatic,  // G = operand0                    [global_index]
+  Call,         // result = callee(operands...)    [callee]
+  RemoteCall,   // result = callee(operands...) over RMI   [callee, callsite_tag]
+  Return,       // return operand0 (or void)
+};
+
+struct Instr {
+  Op op = Op::Move;
+  ValueId result = kNoValue;
+  Type type;  // type of the result (when any)
+  std::vector<ValueId> operands;
+
+  om::ClassId class_id = om::kNoClass;  // Alloc / AllocArray
+  AllocSiteId alloc_site = 0;           // Alloc / AllocArray
+  std::uint32_t field_index = 0;        // LoadField / StoreField
+  GlobalId global_index = 0;            // LoadStatic / StoreStatic
+  FuncId callee = 0;                    // Call / RemoteCall
+  std::uint32_t callsite_tag = 0;       // RemoteCall: app-chosen stable tag
+  std::int64_t imm = 0;                 // ConstInt
+
+  bool has_result() const { return result != kNoValue; }
+};
+
+}  // namespace rmiopt::ir

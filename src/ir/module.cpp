@@ -1,0 +1,55 @@
+#include "ir/module.hpp"
+
+namespace rmiopt::ir {
+
+const Type& Function::value_type(ValueId v) const {
+  RMIOPT_CHECK(v < value_types.size(), "unknown SSA value");
+  return value_types[v];
+}
+
+Function& Module::add_function(std::string name, std::vector<Type> params,
+                               Type ret, bool is_remote_method) {
+  auto f = std::make_unique<Function>();
+  f->id = static_cast<FuncId>(funcs_.size());
+  f->name = std::move(name);
+  f->params = std::move(params);
+  f->ret = ret;
+  f->is_remote_method = is_remote_method;
+  f->value_count = static_cast<std::uint32_t>(f->params.size());
+  f->value_types = f->params;
+  funcs_.push_back(std::move(f));
+  return *funcs_.back();
+}
+
+GlobalId Module::add_global(std::string name, Type type) {
+  Global g;
+  g.id = static_cast<GlobalId>(globals_.size());
+  g.name = std::move(name);
+  g.type = type;
+  globals_.push_back(std::move(g));
+  return globals_.back().id;
+}
+
+const Function* Module::find_function(const std::string& name) const {
+  for (const auto& f : funcs_) {
+    if (f->name == name) return f.get();
+  }
+  return nullptr;
+}
+
+std::vector<Module::RemoteCallRef> Module::remote_call_sites() const {
+  std::vector<RemoteCallRef> sites;
+  for (const auto& f : funcs_) {
+    for (std::size_t b = 0; b < f->blocks.size(); ++b) {
+      const auto& block = f->blocks[b];
+      for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+        if (block.instrs[i].op == Op::RemoteCall) {
+          sites.push_back(RemoteCallRef{f->id, b, i, &block.instrs[i]});
+        }
+      }
+    }
+  }
+  return sites;
+}
+
+}  // namespace rmiopt::ir

@@ -1,0 +1,90 @@
+// Module, Function and Global containers of the mini-language IR.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instr.hpp"
+#include "support/error.hpp"
+
+namespace rmiopt::ir {
+
+struct BasicBlock {
+  std::string label;
+  std::vector<Instr> instrs;
+};
+
+struct Function {
+  FuncId id = 0;
+  std::string name;
+  std::vector<Type> params;  // parameter i is ValueId i
+  Type ret = Type::void_type();
+  // JavaParty `remote` methods are the targets of RemoteCall instructions.
+  bool is_remote_method = false;
+  std::vector<BasicBlock> blocks;
+  std::uint32_t value_count = 0;  // SSA values 0..value_count-1
+
+  const Type& value_type(ValueId v) const;
+  // Recomputed by the builder: type of every SSA value.
+  std::vector<Type> value_types;
+};
+
+struct Global {
+  GlobalId id = 0;
+  std::string name;
+  Type type;
+};
+
+class Module {
+ public:
+  explicit Module(const om::TypeRegistry& types) : types_(types) {}
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const om::TypeRegistry& types() const { return types_; }
+
+  Function& add_function(std::string name, std::vector<Type> params,
+                         Type ret, bool is_remote_method = false);
+  GlobalId add_global(std::string name, Type type);
+
+  Function& function(FuncId id) { return *funcs_.at(id); }
+  const Function& function(FuncId id) const { return *funcs_.at(id); }
+  const Function* find_function(const std::string& name) const;
+  std::size_t function_count() const { return funcs_.size(); }
+  const Global& global(GlobalId id) const { return globals_.at(id); }
+  std::size_t global_count() const { return globals_.size(); }
+
+  AllocSiteId next_alloc_site() { return ++alloc_site_counter_; }
+  AllocSiteId max_alloc_site() const { return alloc_site_counter_; }
+
+  // All RemoteCall instructions in the module, with their caller.
+  struct RemoteCallRef {
+    FuncId caller;
+    std::size_t block;
+    std::size_t index;
+    const Instr* instr;
+  };
+  std::vector<RemoteCallRef> remote_call_sites() const;
+
+ private:
+  const om::TypeRegistry& types_;
+  // unique_ptr: Function& returned by add_function stays valid as the
+  // module grows.
+  std::vector<std::unique_ptr<Function>> funcs_;
+  std::vector<Global> globals_;
+  AllocSiteId alloc_site_counter_ = 0;  // 0 reserved; sites start at 1
+};
+
+// Structural sanity checks: operand def-before-use within a function (SSA
+// listing order), field indices valid for the classes involved, callee ids
+// in range, remote calls target remote methods, returns match signatures.
+// Throws rmiopt::Error on the first violation.
+void verify(const Module& module);
+
+// Textual dump of a function / module, for tests and the compiler_tour
+// example.
+std::string to_string(const Function& f, const Module& m);
+std::string to_string(const Module& m);
+
+}  // namespace rmiopt::ir

@@ -1,0 +1,127 @@
+#include <sstream>
+
+#include "ir/module.hpp"
+
+namespace rmiopt::ir {
+
+namespace {
+
+std::string type_str(const Module& m, const Type& t) {
+  if (t.is_void) return "void";
+  if (!t.is_ref()) return std::string(om::name_of(t.kind));
+  if (t.class_id == om::kNoClass) return "Object";
+  return m.types().get(t.class_id).name;
+}
+
+std::string v(ValueId id) { return "%" + std::to_string(id); }
+
+void print_instr(std::ostringstream& out, const Module& m, const Function& f,
+                 const Instr& in) {
+  out << "  ";
+  if (in.has_result()) out << v(in.result) << " = ";
+  switch (in.op) {
+    case Op::Alloc:
+      out << "new " << m.types().get(in.class_id).name << "  ; site "
+          << in.alloc_site;
+      break;
+    case Op::AllocArray:
+      out << "new-array " << m.types().get(in.class_id).name << "  ; site "
+          << in.alloc_site;
+      break;
+    case Op::ConstInt:
+      out << "const " << in.imm;
+      break;
+    case Op::ConstNull:
+      out << "null";
+      break;
+    case Op::Move:
+      out << "move " << v(in.operands[0]);
+      break;
+    case Op::Phi: {
+      out << "phi";
+      for (ValueId o : in.operands) out << " " << v(o);
+      break;
+    }
+    case Op::Arith: {
+      out << "arith";
+      for (ValueId o : in.operands) out << " " << v(o);
+      break;
+    }
+    case Op::LoadField: {
+      const auto& cls = m.types().get(f.value_type(in.operands[0]).class_id);
+      out << v(in.operands[0]) << "." << cls.fields[in.field_index].name;
+      break;
+    }
+    case Op::StoreField: {
+      const auto& cls = m.types().get(f.value_type(in.operands[0]).class_id);
+      out << v(in.operands[0]) << "." << cls.fields[in.field_index].name
+          << " = " << v(in.operands[1]);
+      break;
+    }
+    case Op::LoadIndex:
+      out << v(in.operands[0]) << "[*]";
+      break;
+    case Op::StoreIndex:
+      out << v(in.operands[0]) << "[*] = " << v(in.operands[1]);
+      break;
+    case Op::LoadStatic:
+      out << "static " << m.global(in.global_index).name;
+      break;
+    case Op::StoreStatic:
+      out << "static " << m.global(in.global_index).name << " = "
+          << v(in.operands[0]);
+      break;
+    case Op::Call:
+    case Op::RemoteCall: {
+      out << (in.op == Op::RemoteCall ? "remote-call " : "call ")
+          << m.function(in.callee).name << "(";
+      for (std::size_t i = 0; i < in.operands.size(); ++i) {
+        if (i) out << ", ";
+        out << v(in.operands[i]);
+      }
+      out << ")";
+      if (in.op == Op::RemoteCall) out << "  ; tag " << in.callsite_tag;
+      break;
+    }
+    case Op::Return:
+      out << "return";
+      if (!in.operands.empty()) out << " " << v(in.operands[0]);
+      break;
+  }
+  out << "\n";
+}
+
+}  // namespace
+
+std::string to_string(const Function& f, const Module& m) {
+  std::ostringstream out;
+  out << (f.is_remote_method ? "remote " : "") << type_str(m, f.ret) << " "
+      << f.name << "(";
+  for (std::size_t i = 0; i < f.params.size(); ++i) {
+    if (i) out << ", ";
+    out << type_str(m, f.params[i]) << " " << v(static_cast<ValueId>(i));
+  }
+  out << ") {\n";
+  for (const auto& block : f.blocks) {
+    if (f.blocks.size() > 1 || !block.label.empty()) {
+      out << block.label << ":\n";
+    }
+    for (const auto& in : block.instrs) print_instr(out, m, f, in);
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_string(const Module& m) {
+  std::ostringstream out;
+  for (std::size_t g = 0; g < m.global_count(); ++g) {
+    const Global& gl = m.global(static_cast<GlobalId>(g));
+    out << "static " << type_str(m, gl.type) << " " << gl.name << "\n";
+  }
+  for (std::size_t i = 0; i < m.function_count(); ++i) {
+    out << to_string(m.function(static_cast<FuncId>(i)), m) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace rmiopt::ir

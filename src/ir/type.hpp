@@ -1,0 +1,31 @@
+// Types of the mini-language IR.
+//
+// The IR models the Java subset the paper's compiler analyses: primitives,
+// class references and array references.  Reference types carry the
+// om::ClassId of the *same* TypeRegistry the runtime uses — compiler and
+// runtime share class metadata, as they do in Manta.
+#pragma once
+
+#include "objmodel/class_desc.hpp"
+
+namespace rmiopt::ir {
+
+struct Type {
+  om::TypeKind kind = om::TypeKind::Int;
+  om::ClassId class_id = om::kNoClass;  // for kind == Ref; kNoClass = Object
+  bool is_void = false;
+
+  static Type prim(om::TypeKind k) { return Type{k, om::kNoClass, false}; }
+  static Type ref(om::ClassId c) {
+    return Type{om::TypeKind::Ref, c, false};
+  }
+  static Type object() { return Type{om::TypeKind::Ref, om::kNoClass, false}; }
+  static Type void_type() {
+    return Type{om::TypeKind::Ref, om::kNoClass, true};
+  }
+
+  bool is_ref() const { return kind == om::TypeKind::Ref && !is_void; }
+  bool operator==(const Type&) const = default;
+};
+
+}  // namespace rmiopt::ir

@@ -1,0 +1,116 @@
+#include <algorithm>
+
+#include "ir/module.hpp"
+
+namespace rmiopt::ir {
+
+namespace {
+
+void verify_function(const Module& m, const Function& f) {
+  auto ctx = [&](const char* what) { return f.name + ": " + what; };
+  RMIOPT_CHECK(f.value_types.size() == f.value_count,
+               ctx("value table size mismatch"));
+
+  std::vector<bool> defined(f.value_count, false);
+  for (std::size_t i = 0; i < f.params.size(); ++i) defined[i] = true;
+
+  auto check_operand = [&](ValueId v) {
+    RMIOPT_CHECK(v < f.value_count, ctx("operand out of range"));
+    RMIOPT_CHECK(defined[v], ctx("use before definition (not SSA)"));
+  };
+
+  for (const auto& block : f.blocks) {
+    for (const auto& in : block.instrs) {
+      if (in.op == Op::Phi) {
+        // Phi inputs may be loop back edges (defined later in listing
+        // order); only range-check them.
+        for (ValueId v : in.operands) {
+          RMIOPT_CHECK(v < f.value_count, ctx("phi operand out of range"));
+        }
+      } else {
+        for (ValueId v : in.operands) check_operand(v);
+      }
+      switch (in.op) {
+        case Op::Alloc:
+          RMIOPT_CHECK(!m.types().get(in.class_id).is_array,
+                       ctx("Alloc of array class"));
+          RMIOPT_CHECK(in.alloc_site != 0, ctx("missing alloc site id"));
+          break;
+        case Op::AllocArray:
+          RMIOPT_CHECK(m.types().get(in.class_id).is_array,
+                       ctx("AllocArray of non-array class"));
+          RMIOPT_CHECK(in.alloc_site != 0, ctx("missing alloc site id"));
+          break;
+        case Op::LoadField:
+        case Op::StoreField: {
+          const Type& ot = f.value_type(in.operands[0]);
+          RMIOPT_CHECK(ot.is_ref() && ot.class_id != om::kNoClass,
+                       ctx("field access needs a typed reference"));
+          const auto& cls = m.types().get(ot.class_id);
+          RMIOPT_CHECK(in.field_index < cls.fields.size(),
+                       ctx("field index out of range"));
+          break;
+        }
+        case Op::LoadIndex:
+        case Op::StoreIndex: {
+          const Type& ot = f.value_type(in.operands[0]);
+          RMIOPT_CHECK(ot.is_ref() && m.types().get(ot.class_id).is_array,
+                       ctx("index access needs an array reference"));
+          break;
+        }
+        case Op::LoadStatic:
+        case Op::StoreStatic:
+          RMIOPT_CHECK(in.global_index < m.global_count(),
+                       ctx("unknown global"));
+          break;
+        case Op::Call:
+        case Op::RemoteCall: {
+          RMIOPT_CHECK(in.callee < m.function_count(), ctx("unknown callee"));
+          const Function& callee = m.function(in.callee);
+          RMIOPT_CHECK(in.operands.size() == callee.params.size(),
+                       ctx("call arity mismatch"));
+          if (in.op == Op::RemoteCall) {
+            RMIOPT_CHECK(callee.is_remote_method,
+                         ctx("RemoteCall to non-remote method"));
+          }
+          break;
+        }
+        case Op::Return:
+          if (f.ret.is_void) {
+            RMIOPT_CHECK(in.operands.empty(), ctx("void return with value"));
+          } else {
+            RMIOPT_CHECK(in.operands.size() == 1,
+                         ctx("non-void return without value"));
+          }
+          break;
+        default:
+          break;
+      }
+      if (in.has_result()) {
+        RMIOPT_CHECK(in.result < f.value_count, ctx("result out of range"));
+        RMIOPT_CHECK(!defined[in.result], ctx("value defined twice"));
+        defined[in.result] = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void verify(const Module& module) {
+  // Remote-call-site tags must be unique module-wide (they key the mapping
+  // to runtime call sites).
+  std::vector<std::uint32_t> tags;
+  for (const auto& site : module.remote_call_sites()) {
+    tags.push_back(site.instr->callsite_tag);
+  }
+  std::sort(tags.begin(), tags.end());
+  RMIOPT_CHECK(std::adjacent_find(tags.begin(), tags.end()) == tags.end(),
+               "duplicate remote call-site tag");
+
+  for (std::size_t i = 0; i < module.function_count(); ++i) {
+    verify_function(module, module.function(static_cast<FuncId>(i)));
+  }
+}
+
+}  // namespace rmiopt::ir

@@ -1,0 +1,56 @@
+#include "net/cluster.hpp"
+
+#include "support/error.hpp"
+
+namespace rmiopt::net {
+
+Cluster::Cluster(std::size_t machine_count, const om::TypeRegistry& types,
+                 const serial::CostModel& cost)
+    : cost_(cost) {
+  RMIOPT_CHECK(machine_count >= 1, "cluster needs at least one machine");
+  machines_.reserve(machine_count);
+  for (std::size_t i = 0; i < machine_count; ++i) {
+    machines_.push_back(std::make_unique<Machine>(
+        static_cast<std::uint16_t>(i), types, cost_));
+  }
+}
+
+void Cluster::send(wire::Message msg) {
+  const auto src = msg.header.source_machine;
+  const auto dst = msg.header.dest_machine;
+  RMIOPT_CHECK(src < machines_.size() && dst < machines_.size(),
+               "message addressed to unknown machine");
+  RMIOPT_CHECK(src != dst, "loopback messages do not cross the network");
+
+  Machine& sender = *machines_[src];
+  const std::size_t bytes = msg.wire_size();
+
+  sender.clock().advance(SimTime::nanos(cost_.send_overhead_ns));
+  // GM fragments messages larger than one MTU; every fragment after the
+  // first adds pipeline overhead to the arrival time.
+  const std::int64_t extra_fragments =
+      cost_.fragment_bytes > 0
+          ? static_cast<std::int64_t>(bytes) / cost_.fragment_bytes
+          : 0;
+  const SimTime arrival =
+      sender.clock().now() + SimTime::nanos(cost_.msg_latency_ns) +
+      cost_.for_wire_bytes(bytes) +
+      SimTime::nanos(extra_fragments * cost_.fragment_overhead_ns);
+
+  net_stats_.messages.fetch_add(1, std::memory_order_relaxed);
+  net_stats_.bytes.fetch_add(bytes, std::memory_order_relaxed);
+
+  machines_[dst]->deliver(std::move(msg), arrival);
+}
+
+void Cluster::shutdown() {
+  for (auto& m : machines_) m->close();
+}
+
+SimTime Cluster::makespan() const {
+  SimTime t;
+  for (const auto& m : machines_) t = max(t, m->clock().now());
+  return t;
+}
+
+}  // namespace rmiopt::net

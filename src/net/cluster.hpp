@@ -1,0 +1,50 @@
+// The simulated cluster: N machines plus the Myrinet-like network model.
+//
+// send() charges the sender's CPU for the GM send descriptor, computes the
+// arrival time from one-way latency plus the message's wire size over the
+// modelled bandwidth, and delivers the message to the destination inbox.
+// Payload bytes are moved, never copied — the copy cost is charged
+// virtually by the serializer's cost model.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "net/machine.hpp"
+
+namespace rmiopt::net {
+
+struct NetworkStats {
+  std::atomic<std::uint64_t> messages{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+
+class Cluster {
+ public:
+  Cluster(std::size_t machine_count, const om::TypeRegistry& types,
+          const serial::CostModel& cost = {});
+
+  std::size_t size() const { return machines_.size(); }
+  Machine& machine(std::size_t i) { return *machines_.at(i); }
+  const serial::CostModel& cost() const { return cost_; }
+
+  // Sends `msg` from its header's source machine to its dest machine.
+  void send(wire::Message msg);
+
+  // Closes every machine's inbox (dispatchers drain and stop).
+  void shutdown();
+
+  const NetworkStats& stats() const { return net_stats_; }
+
+  // Virtual makespan: the maximum clock across machines — the cluster-wide
+  // "wall time" a benchmark reports.
+  SimTime makespan() const;
+
+ private:
+  serial::CostModel cost_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  NetworkStats net_stats_;
+};
+
+}  // namespace rmiopt::net

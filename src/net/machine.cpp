@@ -1,0 +1,52 @@
+#include "net/machine.hpp"
+
+namespace rmiopt::net {
+
+void Machine::deliver(wire::Message msg, SimTime arrival) {
+  {
+    std::scoped_lock lock(mu_);
+    inbox_.push_back(Envelope{std::move(msg), arrival});
+  }
+  cv_.notify_all();
+}
+
+std::optional<Envelope> Machine::receive_blocking() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return !inbox_.empty() || closed_; });
+  if (inbox_.empty()) return std::nullopt;
+  Envelope env = std::move(inbox_.front());
+  inbox_.pop_front();
+  lock.unlock();
+
+  // GM cost model (§5): a machine with a data-request outstanding *polls*
+  // the network, so a message it waited for costs only a user-level poll;
+  // the same holds while it is draining a backlog (every receive is a
+  // poll).  The blocked kernel poll thread only wakes — and charges a
+  // thread switch — when a message sat pending past the 20 µs threshold
+  // while the host had not touched the network for at least as long.
+  const SimTime before = clock_.now();
+  const bool waited = clock_.merge_at_least(env.arrival);
+  const SimTime threshold = SimTime::nanos(cost_.poll_wakeup_ns);
+  const bool kernel_wakeup = !waited &&
+                             (before - env.arrival) > threshold &&
+                             (before - last_receive_) > threshold;
+  clock_.advance(SimTime::nanos(kernel_wakeup ? cost_.poll_wakeup_ns
+                                              : cost_.recv_poll_ns));
+  last_receive_ = clock_.now();
+  return env;
+}
+
+void Machine::close() {
+  {
+    std::scoped_lock lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Machine::pending_messages() const {
+  std::scoped_lock lock(mu_);
+  return inbox_.size();
+}
+
+}  // namespace rmiopt::net

@@ -1,0 +1,70 @@
+// A simulated cluster node: heap + virtual clock + message inbox.
+//
+// Receive semantics follow the paper's modified GM (§5): the runtime polls
+// the network from user level when it has nothing else to do; a message
+// that was already pending when the receiver looked costs only a poll
+// (recv_poll_ns), while a message the receiver had to *wait* for wakes the
+// blocked kernel poll thread (poll_wakeup_ns) and merges the arrival time
+// into the receiver's clock.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "net/clock.hpp"
+#include "objmodel/heap.hpp"
+#include "serial/cost_model.hpp"
+#include "wire/protocol.hpp"
+
+namespace rmiopt::net {
+
+struct Envelope {
+  wire::Message msg;
+  SimTime arrival;  // virtual time the message reaches the receiver's NIC
+};
+
+class Machine {
+ public:
+  Machine(std::uint16_t id, const om::TypeRegistry& types,
+          const serial::CostModel& cost)
+      : id_(id), heap_(types), cost_(cost) {}
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  std::uint16_t id() const { return id_; }
+  om::Heap& heap() { return heap_; }
+  VirtualClock& clock() { return clock_; }
+  const serial::CostModel& cost() const { return cost_; }
+
+  // Called by the cluster: enqueue a message that arrives at `arrival`.
+  void deliver(wire::Message msg, SimTime arrival);
+
+  // Blocks until a message is available or the machine is closed.
+  // Applies the GM poll/wakeup cost model to the virtual clock.
+  std::optional<Envelope> receive_blocking();
+
+  // After close(), receive_blocking drains the queue and then returns
+  // nullopt.
+  void close();
+
+  std::size_t pending_messages() const;
+
+ private:
+  const std::uint16_t id_;
+  om::Heap heap_;
+  VirtualClock clock_;
+  const serial::CostModel& cost_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Envelope> inbox_;
+  bool closed_ = false;
+  // Virtual time of the last receive: a host that drained the network
+  // recently is considered to be polling (no kernel wakeup charge).
+  SimTime last_receive_;
+};
+
+}  // namespace rmiopt::net

@@ -1,0 +1,121 @@
+#include "objmodel/class_desc.hpp"
+
+#include "support/error.hpp"
+
+namespace rmiopt::om {
+
+namespace {
+
+std::uint32_t align_up(std::uint32_t off, std::uint32_t align) {
+  return (off + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+TypeRegistry::TypeRegistry() {
+  classes_.push_back(nullptr);  // sentinel for kNoClass
+
+  // The string class: a byte array with text semantics.
+  ClassDescriptor s;
+  s.name = "java/lang/String";
+  s.is_array = true;
+  s.elem_kind = TypeKind::Byte;
+  s.is_string = true;
+  string_class_ = intern(std::move(s));
+}
+
+ClassId TypeRegistry::intern(ClassDescriptor desc) {
+  RMIOPT_CHECK(by_name_.find(desc.name) == by_name_.end(),
+               "duplicate class name: " + desc.name);
+  desc.id = static_cast<ClassId>(classes_.size());
+  by_name_.emplace(desc.name, desc.id);
+  classes_.push_back(std::make_unique<ClassDescriptor>(std::move(desc)));
+  return classes_.back()->id;
+}
+
+ClassId TypeRegistry::define_class(const std::string& name,
+                                   const std::vector<FieldSpec>& fields,
+                                   ClassId super) {
+  const ClassId id = declare_class(name);
+  define_fields(id, fields, super);
+  return id;
+}
+
+ClassId TypeRegistry::declare_class(const std::string& name) {
+  ClassDescriptor desc;
+  desc.name = name;
+  return intern(std::move(desc));
+}
+
+void TypeRegistry::define_fields(ClassId id,
+                                 const std::vector<FieldSpec>& fields,
+                                 ClassId super) {
+  ClassDescriptor& desc = *classes_.at(id);
+  RMIOPT_CHECK(!desc.is_array, "cannot define fields on an array class");
+  RMIOPT_CHECK(!desc.is_defined, "class " + desc.name + " already defined");
+  desc.is_defined = true;
+  desc.super = super;
+  std::uint32_t offset = 0;
+  if (super != kNoClass) {
+    const ClassDescriptor& sup = get(super);
+    RMIOPT_CHECK(!sup.is_array, "cannot subclass an array class");
+    desc.fields = sup.fields;  // flattened inheritance
+    offset = sup.instance_size;
+  }
+  for (const auto& spec : fields) {
+    FieldDescriptor f;
+    f.name = spec.name;
+    f.kind = spec.kind;
+    f.ref_class = spec.ref_class;
+    const auto sz = static_cast<std::uint32_t>(size_of(spec.kind));
+    offset = align_up(offset, sz);
+    f.offset = offset;
+    offset += sz;
+    desc.fields.push_back(std::move(f));
+  }
+  desc.instance_size = align_up(offset, 8);
+}
+
+ClassId TypeRegistry::register_prim_array(TypeKind elem) {
+  RMIOPT_CHECK(elem != TypeKind::Ref, "use register_ref_array");
+  std::string name = "[" + std::string(name_of(elem));
+  if (auto it = by_name_.find(name); it != by_name_.end()) return it->second;
+  ClassDescriptor desc;
+  desc.name = std::move(name);
+  desc.is_array = true;
+  desc.elem_kind = elem;
+  return intern(std::move(desc));
+}
+
+ClassId TypeRegistry::register_ref_array(ClassId elem_class) {
+  const ClassDescriptor& elem = get(elem_class);
+  std::string name = "[L" + elem.name + ";";
+  if (auto it = by_name_.find(name); it != by_name_.end()) return it->second;
+  ClassDescriptor desc;
+  desc.name = std::move(name);
+  desc.is_array = true;
+  desc.elem_kind = TypeKind::Ref;
+  desc.elem_class = elem_class;
+  return intern(std::move(desc));
+}
+
+const ClassDescriptor& TypeRegistry::get(ClassId id) const {
+  RMIOPT_CHECK(exists(id), "unknown class id " + std::to_string(id));
+  return *classes_[id];
+}
+
+const ClassDescriptor* TypeRegistry::find_by_name(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : classes_[it->second].get();
+}
+
+bool TypeRegistry::is_subclass_of(ClassId maybe_sub, ClassId super) const {
+  while (maybe_sub != kNoClass) {
+    if (maybe_sub == super) return true;
+    maybe_sub = get(maybe_sub).super;
+  }
+  return false;
+}
+
+}  // namespace rmiopt::om

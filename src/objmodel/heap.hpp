@@ -1,0 +1,173 @@
+// The managed heap and runtime object representation.
+//
+// Each simulated machine owns one Heap.  Objects are allocated as a single
+// block: a small header (class descriptor pointer + array length) followed
+// by the payload.  Reference fields and reference array elements store
+// `ObjRef` (an `Object*`) directly — the heap is per-machine, references
+// never cross machines; cross-machine object transfer happens only through
+// serialization, exactly as in RMI.
+//
+// There is no tracing collector: the paper's benchmarks measure *allocation
+// volume* caused by deserialization ("new (MBytes)" in Tables 4/6/8), which
+// the heap tracks, and the skeleton explicitly frees argument graphs after
+// an invocation unless the reuse cache retains them (§3.3).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+#include <unordered_set>
+
+#include "objmodel/class_desc.hpp"
+#include "support/error.hpp"
+
+namespace rmiopt::om {
+
+class Heap;
+
+class alignas(16) Object {
+ public:
+  const ClassDescriptor& cls() const { return *cls_; }
+  ClassId class_id() const { return cls_->id; }
+  bool is_array() const { return cls_->is_array; }
+  std::uint32_t length() const { return length_; }
+
+  std::uint8_t* payload() { return reinterpret_cast<std::uint8_t*>(this + 1); }
+  const std::uint8_t* payload() const {
+    return reinterpret_cast<const std::uint8_t*>(this + 1);
+  }
+  std::size_t payload_size() const;
+
+  // ---- scalar fields -------------------------------------------------
+  template <typename T>
+  T get(const FieldDescriptor& f) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    std::memcpy(&v, payload() + f.offset, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void set(const FieldDescriptor& f, T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::memcpy(payload() + f.offset, &v, sizeof(T));
+  }
+
+  Object* get_ref(const FieldDescriptor& f) const {
+    RMIOPT_CHECK(f.kind == TypeKind::Ref, "field is not a reference");
+    Object* v;
+    std::memcpy(&v, payload() + f.offset, sizeof(v));
+    return v;
+  }
+  void set_ref(const FieldDescriptor& f, Object* v) {
+    RMIOPT_CHECK(f.kind == TypeKind::Ref, "field is not a reference");
+    std::memcpy(payload() + f.offset, &v, sizeof(v));
+  }
+
+  // ---- array elements --------------------------------------------------
+  template <typename T>
+  std::span<T> elems() {
+    return {reinterpret_cast<T*>(payload()), length_};
+  }
+  template <typename T>
+  std::span<const T> elems() const {
+    return {reinterpret_cast<const T*>(payload()), length_};
+  }
+
+  Object* get_elem_ref(std::uint32_t i) const {
+    RMIOPT_CHECK(i < length_, "array index out of range");
+    Object* v;
+    std::memcpy(&v, payload() + i * sizeof(Object*), sizeof(v));
+    return v;
+  }
+  void set_elem_ref(std::uint32_t i, Object* v) {
+    RMIOPT_CHECK(i < length_, "array index out of range");
+    std::memcpy(payload() + i * sizeof(Object*), &v, sizeof(v));
+  }
+
+  std::string_view as_string_view() const {
+    RMIOPT_CHECK(cls_->is_string, "object is not a string");
+    return {reinterpret_cast<const char*>(payload()), length_};
+  }
+
+ private:
+  friend class Heap;
+  Object(const ClassDescriptor* cls, std::uint32_t length)
+      : cls_(cls), length_(length) {}
+  ~Object() = default;
+
+  const ClassDescriptor* cls_;
+  std::uint32_t length_;
+};
+
+using ObjRef = Object*;
+
+struct HeapStats {
+  std::atomic<std::uint64_t> objects_allocated{0};
+  std::atomic<std::uint64_t> bytes_allocated{0};
+  std::atomic<std::uint64_t> objects_freed{0};
+  std::atomic<std::uint64_t> bytes_freed{0};
+
+  std::uint64_t live_objects() const {
+    return objects_allocated.load() - objects_freed.load();
+  }
+};
+
+class Heap {
+ public:
+  explicit Heap(const TypeRegistry& types) : types_(types) {}
+  Heap(const Heap&) = delete;
+  Heap& operator=(const Heap&) = delete;
+
+  // Allocates a non-array instance with zeroed payload.
+  ObjRef alloc(const ClassDescriptor& cls);
+  ObjRef alloc(ClassId id) { return alloc(types_.get(id)); }
+
+  // Allocates an array instance (prim or ref elements) with zeroed payload.
+  ObjRef alloc_array(const ClassDescriptor& cls, std::uint32_t length);
+  ObjRef alloc_array(ClassId id, std::uint32_t length) {
+    return alloc_array(types_.get(id), length);
+  }
+
+  ObjRef alloc_string(std::string_view text);
+
+  // Frees one object (not its referents).
+  void free(ObjRef obj);
+  // Frees the whole graph reachable from `obj`; cycle-safe.
+  void free_graph(ObjRef obj);
+
+  const HeapStats& stats() const { return stats_; }
+  const TypeRegistry& types() const { return types_; }
+
+ private:
+  ObjRef raw_alloc(const ClassDescriptor& cls, std::uint32_t length,
+                   std::size_t payload);
+
+  const TypeRegistry& types_;
+  HeapStats stats_;
+};
+
+// Structural deep equality over object graphs; cycle-safe (two graphs are
+// equal if a bisimulation relating their nodes exists along the traversal).
+bool deep_equals(const ObjRef a, const ObjRef b);
+
+// Deep graph copy into `heap`; preserves sharing and cycles.  This is what
+// RMI semantics require for *local* calls: parameters and return values of
+// a same-machine RMI are cloned (paper §1).
+ObjRef deep_clone(Heap& heap, const ObjRef obj);
+
+// Number of objects in the graph reachable from `obj` (cycle-safe).
+std::size_t graph_object_count(const ObjRef obj);
+
+// Object count and total byte volume (headers + payloads) of a graph.
+struct GraphExtent {
+  std::size_t objects = 0;
+  std::size_t bytes = 0;
+};
+GraphExtent graph_extent(const ObjRef obj);
+
+// Collects every node reachable from `obj` into `out` (cycle-safe).
+void collect_graph(const ObjRef obj, std::unordered_set<Object*>& out);
+
+}  // namespace rmiopt::om

@@ -1,0 +1,71 @@
+// Primitive type kinds of the runtime object model.
+//
+// The object model mirrors the Java type system the paper's compiler works
+// on: eight primitive kinds plus references.  Arrays are modelled as
+// classes (see class_desc.hpp), like Java's `[D` / `[[D` / `[LFoo;`.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rmiopt::om {
+
+enum class TypeKind : std::uint8_t {
+  Bool,
+  Byte,
+  Short,
+  Int,
+  Long,
+  Float,
+  Double,
+  Ref,
+};
+
+constexpr std::size_t size_of(TypeKind k) {
+  switch (k) {
+    case TypeKind::Bool:
+    case TypeKind::Byte:
+      return 1;
+    case TypeKind::Short:
+      return 2;
+    case TypeKind::Int:
+    case TypeKind::Float:
+      return 4;
+    case TypeKind::Long:
+    case TypeKind::Double:
+      return 8;
+    case TypeKind::Ref:
+      return sizeof(void*);
+  }
+  return 0;
+}
+
+constexpr std::string_view name_of(TypeKind k) {
+  switch (k) {
+    case TypeKind::Bool:
+      return "bool";
+    case TypeKind::Byte:
+      return "byte";
+    case TypeKind::Short:
+      return "short";
+    case TypeKind::Int:
+      return "int";
+    case TypeKind::Long:
+      return "long";
+    case TypeKind::Float:
+      return "float";
+    case TypeKind::Double:
+      return "double";
+    case TypeKind::Ref:
+      return "ref";
+  }
+  return "?";
+}
+
+// Dense class identifier; 0 is reserved ("no class").  Class ids are what
+// the class-specific wire protocol sends per object (a single integer, as
+// in Manta-JavaParty); the call-site-specific protocol sends none.
+using ClassId = std::uint32_t;
+inline constexpr ClassId kNoClass = 0;
+
+}  // namespace rmiopt::om

@@ -1,0 +1,94 @@
+#include "rmi/name_service.hpp"
+
+#include "serial/class_plans.hpp"
+
+namespace rmiopt::rmi {
+
+NameService::NameService(RmiSystem& sys, om::TypeRegistry& types)
+    : sys_(sys) {
+  refbox_ = types.define_class("rmi/RefBox", {{"machine", om::TypeKind::Int},
+                                              {"export_id", om::TypeKind::Int}});
+
+  const auto bind_method = sys.define_method(
+      "rmi/Registry.bind",
+      [this](CallContext&, std::span<const std::int64_t> scalars,
+             std::span<const om::ObjRef> args) -> HandlerResult {
+        const std::string name(args[0]->as_string_view());
+        const RemoteRef ref{static_cast<std::uint16_t>(scalars[0]),
+                            static_cast<std::uint32_t>(scalars[1])};
+        std::scoped_lock lock(mu_);
+        if (!table_.emplace(name, ref).second) {
+          return HandlerResult::exception("name already bound: " + name);
+        }
+        return HandlerResult{};
+      });
+
+  const auto lookup_method = sys.define_method(
+      "rmi/Registry.lookup",
+      [this, &types](CallContext& ctx, auto,
+                     std::span<const om::ObjRef> args) -> HandlerResult {
+        const std::string name(args[0]->as_string_view());
+        RemoteRef ref;
+        {
+          std::scoped_lock lock(mu_);
+          auto it = table_.find(name);
+          if (it == table_.end()) {
+            return HandlerResult::exception("name not bound: " + name);
+          }
+          ref = it->second;
+        }
+        const om::ClassDescriptor& cls = types.get(refbox_);
+        om::ObjRef box = ctx.heap().alloc(cls);
+        box->set<std::int32_t>(cls.fields[0], ref.machine);
+        box->set<std::int32_t>(cls.fields[1],
+                               static_cast<std::int32_t>(ref.export_id));
+        return HandlerResult{.value = box, .give_ownership = true};
+      });
+
+  // The runtime system's own stubs are generic: class-mode plans (dynamic
+  // roots, compact type ids, cycle table on).  These calls are the small
+  // residue the paper's site+cycle statistics still show.
+  auto make_plan = [&](const char* name, bool with_ret) {
+    auto plan = std::make_unique<serial::CallSitePlan>();
+    plan->name = name;
+    plan->args.push_back(serial::make_dynamic_node(types.string_class()));
+    if (with_ret) plan->ret = serial::make_dynamic_node(refbox_);
+    plan->needs_cycle_table = true;
+    return plan;
+  };
+  CompiledCallSite bind_site;
+  bind_site.plan = make_plan("rmi/Registry.bind#rts", false);
+  bind_site.method_id = bind_method;
+  bind_site_ = sys.add_callsite(std::move(bind_site));
+  CompiledCallSite lookup_site;
+  lookup_site.plan = make_plan("rmi/Registry.lookup#rts", true);
+  lookup_site.method_id = lookup_method;
+  lookup_site_ = sys.add_callsite(std::move(lookup_site));
+
+  registry_ = sys.export_object(
+      0, sys.cluster().machine(0).heap().alloc(refbox_));
+}
+
+void NameService::bind(std::uint16_t caller, const std::string& name,
+                       RemoteRef ref) {
+  om::Heap& heap = sys_.cluster().machine(caller).heap();
+  om::ObjRef name_obj = heap.alloc_string(name);
+  const std::int64_t scalars[2] = {ref.machine, ref.export_id};
+  sys_.invoke(caller, registry_, bind_site_, std::array{name_obj}, scalars);
+  heap.free(name_obj);
+}
+
+RemoteRef NameService::lookup(std::uint16_t caller, const std::string& name) {
+  om::Heap& heap = sys_.cluster().machine(caller).heap();
+  om::ObjRef name_obj = heap.alloc_string(name);
+  om::ObjRef box = sys_.invoke(caller, registry_, lookup_site_,
+                               std::array{name_obj});
+  heap.free(name_obj);
+  const om::ClassDescriptor& cls = box->cls();
+  RemoteRef ref{static_cast<std::uint16_t>(box->get<std::int32_t>(cls.fields[0])),
+                static_cast<std::uint32_t>(box->get<std::int32_t>(cls.fields[1]))};
+  heap.free(box);
+  return ref;
+}
+
+}  // namespace rmiopt::rmi

@@ -1,0 +1,48 @@
+// The JavaParty-runtime name service.
+//
+// JavaParty hides object placement behind the runtime system; bootstrap
+// still needs a way to find remote objects by name (Java RMI's
+// rmiregistry).  The name service lives on machine 0 and is itself built
+// from RMI calls — with *class-mode* marshal plans, because the runtime
+// system is compiled generically, not per call site.  This reproduces a
+// detail of the paper's statistics: the handful of cycle lookups that
+// remain even at site+cycle levels "are from two RMIs from the
+// initialization of the Javaparty runtime system" (§5.2; Tables 4/8 show
+// 2 and 3 residual lookups).
+#pragma once
+
+#include <string>
+
+#include "rmi/runtime.hpp"
+
+namespace rmiopt::rmi {
+
+class NameService {
+ public:
+  // Registers the service's methods and call sites with `sys` and creates
+  // the registry object on machine 0.  Must run before sys.start(); the
+  // type registry gains a `rmi/RefBox` class for lookup replies.
+  NameService(RmiSystem& sys, om::TypeRegistry& types);
+  NameService(const NameService&) = delete;
+  NameService& operator=(const NameService&) = delete;
+
+  // Publishes `ref` under `name` (an RMI to machine 0).  Throws
+  // RemoteException if the name is already bound.
+  void bind(std::uint16_t caller, const std::string& name, RemoteRef ref);
+
+  // Resolves `name` (an RMI to machine 0).  Throws RemoteException if the
+  // name is unbound.
+  RemoteRef lookup(std::uint16_t caller, const std::string& name);
+
+ private:
+  RmiSystem& sys_;
+  om::ClassId refbox_ = om::kNoClass;
+  std::uint32_t bind_site_ = 0;
+  std::uint32_t lookup_site_ = 0;
+  RemoteRef registry_{};
+  // Server-side table, touched only by machine 0's dispatcher.
+  std::unordered_map<std::string, RemoteRef> table_;
+  std::mutex mu_;
+};
+
+}  // namespace rmiopt::rmi

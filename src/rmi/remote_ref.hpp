@@ -1,0 +1,26 @@
+// Remote object references and reply tokens.
+#pragma once
+
+#include <cstdint>
+
+namespace rmiopt::rmi {
+
+// A reference to an object exported on some machine.  This is what a
+// JavaParty `remote` object reference lowers to: the paper's runtime hides
+// placement behind it.
+struct RemoteRef {
+  std::uint16_t machine = 0;
+  std::uint32_t export_id = 0;
+};
+
+// Identifies one in-flight invocation so a handler can defer its reply
+// (used by blocking remote methods such as a barrier: the handler returns
+// without replying and replies later via RmiSystem::send_reply).
+struct ReplyToken {
+  std::uint32_t callsite_id = 0;
+  std::uint32_t seq = 0;
+  std::uint16_t caller_machine = 0;
+  std::uint16_t callee_machine = 0;
+};
+
+}  // namespace rmiopt::rmi

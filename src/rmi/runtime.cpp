@@ -1,0 +1,525 @@
+#include "rmi/runtime.hpp"
+
+#include <cstdio>
+#include <unordered_set>
+
+namespace rmiopt::rmi {
+
+RmiSystem::RmiSystem(net::Cluster& cluster, const om::TypeRegistry& types)
+    : cluster_(cluster), class_plans_(types) {
+  contexts_.reserve(cluster.size());
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    contexts_.push_back(std::make_unique<MachineContext>());
+  }
+}
+
+RmiSystem::~RmiSystem() { stop(); }
+
+std::uint32_t RmiSystem::define_method(std::string name, Handler handler) {
+  RMIOPT_CHECK(!started_, "define_method after start");
+  methods_.emplace_back(std::move(name), std::move(handler));
+  return static_cast<std::uint32_t>(methods_.size() - 1);
+}
+
+std::uint32_t RmiSystem::add_callsite(CompiledCallSite site) {
+  RMIOPT_CHECK(site.plan != nullptr, "call site needs a plan");
+  RMIOPT_CHECK(site.method_id < methods_.size(),
+               "call site references unknown method");
+  const auto id = static_cast<std::uint32_t>(callsites_.size());
+  site.plan->id = id;
+  callsites_.push_back(std::move(site));
+  return id;
+}
+
+const CompiledCallSite& RmiSystem::callsite(std::uint32_t id) const {
+  RMIOPT_CHECK(id < callsites_.size(), "unknown call site");
+  return callsites_[id];
+}
+
+RemoteRef RmiSystem::export_object(std::uint16_t machine, om::ObjRef obj) {
+  MachineContext& ctx = *contexts_.at(machine);
+  std::scoped_lock lock(ctx.exports_mu);
+  ctx.exports.push_back(obj);
+  return RemoteRef{machine,
+                   static_cast<std::uint32_t>(ctx.exports.size() - 1)};
+}
+
+void RmiSystem::start() {
+  RMIOPT_CHECK(!started_, "already started");
+  started_ = true;
+  for (std::size_t i = 0; i < contexts_.size(); ++i) {
+    contexts_[i]->dispatcher = std::thread(
+        [this, i] { dispatch_loop(static_cast<std::uint16_t>(i)); });
+  }
+}
+
+void RmiSystem::stop() {
+  if (!started_) return;
+  cluster_.shutdown();
+  for (auto& ctx : contexts_) {
+    if (ctx->dispatcher.joinable()) ctx->dispatcher.join();
+  }
+  started_ = false;
+}
+
+void RmiSystem::charge(std::uint16_t machine_id,
+                       const serial::SerialStats& pass) {
+  cluster_.machine(machine_id).clock().advance(
+      pass.cpu_cost(cluster_.cost()));
+}
+
+void RmiSystem::charge_stub(std::uint16_t machine_id,
+                            const CompiledCallSite& site, std::size_t nargs,
+                            std::size_t nscalars) {
+  const serial::CostModel& c = cluster_.cost();
+  std::int64_t ns = site.site_specific ? c.site_stub_ns : c.generic_stub_ns;
+  if (!site.site_specific) {
+    const std::size_t boxed =
+        nargs + nscalars + (site.plan->ret != nullptr ? 1 : 0);
+    ns += static_cast<std::int64_t>(boxed) * c.generic_arg_box_ns;
+  }
+  cluster_.machine(machine_id).clock().advance(SimTime::nanos(ns));
+}
+
+std::promise<RmiSystem::PendingReply>& RmiSystem::register_pending(
+    MachineContext& ctx, std::uint32_t seq) {
+  std::scoped_lock lock(ctx.pending_mu);
+  return ctx.pending[seq];
+}
+
+RmiSystem::PendingReply RmiSystem::await_pending(
+    MachineContext& ctx, std::uint32_t seq,
+    std::future<PendingReply> fut) {
+  PendingReply rep = fut.get();
+  {
+    std::scoped_lock lock(ctx.pending_mu);
+    ctx.pending.erase(seq);
+  }
+  if (rep.is_exception) throw RemoteException(rep.error);
+  if (!rep.is_local && rep.msg.header.kind == wire::MsgKind::Exception) {
+    throw RemoteException(rep.msg.payload.get_string());
+  }
+  return rep;
+}
+
+void RmiSystem::fulfill_pending(MachineContext& ctx, std::uint32_t seq,
+                                PendingReply reply) {
+  std::promise<PendingReply> prom;
+  {
+    std::scoped_lock lock(ctx.pending_mu);
+    auto it = ctx.pending.find(seq);
+    RMIOPT_CHECK(it != ctx.pending.end(), "reply without matching call");
+    prom = std::move(it->second);
+  }
+  prom.set_value(std::move(reply));
+}
+
+RmiSystem::ReuseSlot& RmiSystem::reuse_slot(MachineContext& ctx,
+                                            bool ret_side,
+                                            std::uint32_t callsite_id,
+                                            std::size_t arity) {
+  std::scoped_lock lock(ctx.cache_mu);
+  auto& map = ret_side ? ctx.ret_cache : ctx.arg_cache;
+  auto& slot = map[callsite_id];
+  if (!slot) slot = std::make_unique<ReuseSlot>();
+  if (slot->cached.size() < arity) slot->cached.resize(arity, nullptr);
+  return *slot;
+}
+
+void RmiSystem::free_arg_graphs(om::Heap& heap,
+                                std::span<const om::ObjRef> args,
+                                serial::SerialStats& pass) {
+  // Arguments may share substructure (Figure 8 passes the same object
+  // twice), so free the *union* of the graphs exactly once.
+  std::unordered_set<om::Object*> all;
+  for (om::ObjRef a : args) om::collect_graph(a, all);
+  for (om::Object* o : all) {
+    heap.free(o);
+    ++pass.objects_freed;
+  }
+}
+
+// ---- invocation -------------------------------------------------------------
+
+om::ObjRef RmiSystem::invoke(std::uint16_t caller, RemoteRef target,
+                             std::uint32_t callsite_id,
+                             std::span<const om::ObjRef> args,
+                             std::span<const std::int64_t> scalars) {
+  const CompiledCallSite& site = callsite(callsite_id);
+  const serial::CallSitePlan& plan = *site.plan;
+  RMIOPT_CHECK(args.size() == plan.args.size(),
+               "argument count does not match call-site plan");
+  const std::uint32_t seq = next_seq_.fetch_add(1);
+
+  if (target.machine == caller) {
+    return invoke_local(caller, target, site, args, scalars, seq);
+  }
+
+  MachineContext& cctx = *contexts_.at(caller);
+  net::Machine& m = cluster_.machine(caller);
+  cctx.stats.count_remote_rpc();
+  auto fut = register_pending(cctx, seq).get_future();
+
+  wire::Message msg;
+  msg.header.kind = wire::MsgKind::Call;
+  msg.header.callsite_id = callsite_id;
+  msg.header.target_export = target.export_id;
+  msg.header.seq = seq;
+  msg.header.source_machine = caller;
+  msg.header.dest_machine = target.machine;
+
+  msg.payload.put_varint(scalars.size());
+  for (const std::int64_t s : scalars) msg.payload.put_i64(s);
+
+  // Per-call marshaler machinery: generic stub vs generated code (§3.1).
+  charge_stub(caller, site, args.size(), scalars.size());
+
+  const bool cycle_enabled = site.heavy || plan.needs_cycle_table;
+  serial::SerialStats pass;
+  {
+    serial::SerialWriter w(class_plans_, pass, cycle_enabled);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (site.heavy) {
+        w.write_introspective(msg.payload, args[i]);
+      } else {
+        w.write(msg.payload, *plan.args[i], args[i]);
+      }
+    }
+  }
+  charge(caller, pass);
+  cctx.stats.add_pass(pass);
+  add_site_pass(callsite_id, pass, 0, 1);
+
+  cluster_.send(std::move(msg));
+
+  PendingReply rep = await_pending(cctx, seq, std::move(fut));
+  RMIOPT_CHECK(!rep.is_local, "local reply on remote path");
+  if (rep.msg.header.kind == wire::MsgKind::Ack) return nullptr;
+
+  serial::SerialStats rpass;
+  serial::SerialReader r(class_plans_, m.heap(), rpass, cycle_enabled);
+  om::ObjRef value = nullptr;
+  if (site.heavy) {
+    value = r.read_introspective(rep.msg.payload);
+  } else if (plan.reuse_ret) {
+    ReuseSlot& slot = reuse_slot(cctx, /*ret_side=*/true, callsite_id, 1);
+    om::ObjRef cached = nullptr;
+    {
+      std::scoped_lock lock(slot.mu);
+      cached = slot.cached[0];
+      slot.cached[0] = nullptr;  // multithreading guard (Fig. 13)
+    }
+    value = r.read_reusing(rep.msg.payload, *plan.ret, cached);
+    {
+      std::scoped_lock lock(slot.mu);
+      slot.cached[0] = value;
+    }
+  } else {
+    value = r.read(rep.msg.payload, *plan.ret);
+  }
+  charge(caller, rpass);
+  cctx.stats.add_pass(rpass);
+  add_site_pass(callsite_id, rpass);
+  return value;
+}
+
+om::ObjRef RmiSystem::invoke_local(std::uint16_t caller, RemoteRef target,
+                                   const CompiledCallSite& site,
+                                   std::span<const om::ObjRef> args,
+                                   std::span<const std::int64_t> scalars,
+                                   std::uint32_t seq) {
+  MachineContext& cctx = *contexts_.at(caller);
+  net::Machine& m = cluster_.machine(caller);
+  cctx.stats.count_local_rpc();
+  auto fut = register_pending(cctx, seq).get_future();
+  charge_stub(caller, site, args.size(), scalars.size());
+
+  // RMI parameter-passing semantics must hold regardless of placement
+  // (§1): clone the argument graphs.
+  serial::SerialStats pass;
+  std::vector<om::ObjRef> cloned;
+  cloned.reserve(args.size());
+  for (om::ObjRef a : args) {
+    om::ObjRef c = a ? om::deep_clone(m.heap(), a) : nullptr;
+    const om::GraphExtent ext = om::graph_extent(c);
+    pass.objects_allocated += ext.objects;
+    pass.bytes_allocated += ext.bytes;
+    pass.bytes_copied += ext.bytes;
+    cloned.push_back(c);
+  }
+  charge(caller, pass);
+  cctx.stats.add_pass(pass);
+  add_site_pass(site.plan->id, pass, 1, 0);
+
+  om::ObjRef self = nullptr;
+  {
+    std::scoped_lock lock(cctx.exports_mu);
+    RMIOPT_CHECK(target.export_id < cctx.exports.size(),
+                 "unknown export id");
+    self = cctx.exports[target.export_id];
+  }
+  const ReplyToken token{site.plan->id, seq, caller, caller};
+  CallContext cc(*this, m, self, token);
+  m.clock().advance(SimTime::nanos(cluster_.cost().upcall_dispatch_ns));
+  HandlerResult res;
+  try {
+    res = methods_[site.method_id].second(cc, scalars, cloned);
+  } catch (const Error& e) {
+    res = HandlerResult::exception(e.what());
+  }
+
+  // Reply first: the return value may alias the argument graphs, so the
+  // arguments stay live until the reply is out (as a GC would ensure).
+  if (!res.deferred) {
+    if (res.is_exception) {
+      send_exception(token, res.error);
+    } else {
+      send_reply(token, res.value, res.give_ownership);
+    }
+  }
+  if (!res.args_consumed) {
+    serial::SerialStats freep;
+    free_arg_graphs(m.heap(), cloned, freep);
+    charge(caller, freep);
+    cctx.stats.add_pass(freep);
+  }
+
+  PendingReply rep = await_pending(cctx, seq, std::move(fut));
+  RMIOPT_CHECK(rep.is_local, "remote reply on local path");
+  return rep.local_value;
+}
+
+void RmiSystem::send_reply(const ReplyToken& token, om::ObjRef value,
+                           bool give_ownership) {
+  const CompiledCallSite& site = callsite(token.callsite_id);
+  const serial::CallSitePlan& plan = *site.plan;
+  net::Machine& callee = cluster_.machine(token.callee_machine);
+  MachineContext& callee_ctx = *contexts_.at(token.callee_machine);
+  const bool has_ret = plan.ret != nullptr;
+
+  if (token.caller_machine == token.callee_machine) {
+    // Local reply: clone the return graph (copy semantics, §1).
+    om::ObjRef result = nullptr;
+    serial::SerialStats pass;
+    if (has_ret && value != nullptr) {
+      result = om::deep_clone(callee.heap(), value);
+      const om::GraphExtent ext = om::graph_extent(result);
+      pass.objects_allocated += ext.objects;
+      pass.bytes_allocated += ext.bytes;
+      pass.bytes_copied += ext.bytes;
+    }
+    if (give_ownership && value != nullptr) {
+      const om::GraphExtent ext = om::graph_extent(value);
+      callee.heap().free_graph(value);
+      pass.objects_freed += ext.objects;
+    }
+    charge(token.callee_machine, pass);
+    callee_ctx.stats.add_pass(pass);
+
+    PendingReply rep;
+    rep.is_local = true;
+    rep.local_value = result;
+    fulfill_pending(callee_ctx, token.seq, std::move(rep));
+    return;
+  }
+
+  wire::Message reply;
+  reply.header.kind = has_ret ? wire::MsgKind::Return : wire::MsgKind::Ack;
+  reply.header.callsite_id = token.callsite_id;
+  reply.header.seq = token.seq;
+  reply.header.source_machine = token.callee_machine;
+  reply.header.dest_machine = token.caller_machine;
+
+  serial::SerialStats pass;
+  if (has_ret) {
+    const bool cycle_enabled = site.heavy || plan.needs_cycle_table;
+    serial::SerialWriter w(class_plans_, pass, cycle_enabled);
+    if (site.heavy) {
+      w.write_introspective(reply.payload, value);
+    } else {
+      w.write(reply.payload, *plan.ret, value);
+    }
+  }
+  if (give_ownership && value != nullptr) {
+    const om::GraphExtent ext = om::graph_extent(value);
+    callee.heap().free_graph(value);
+    pass.objects_freed += ext.objects;
+  }
+  charge(token.callee_machine, pass);
+  callee_ctx.stats.add_pass(pass);
+  cluster_.send(std::move(reply));
+}
+
+void RmiSystem::send_exception(const ReplyToken& token, std::string message) {
+  if (token.caller_machine == token.callee_machine) {
+    PendingReply rep;
+    rep.is_local = true;
+    rep.is_exception = true;
+    rep.error = std::move(message);
+    fulfill_pending(*contexts_.at(token.callee_machine), token.seq,
+                    std::move(rep));
+    return;
+  }
+  wire::Message reply;
+  reply.header.kind = wire::MsgKind::Exception;
+  reply.header.callsite_id = token.callsite_id;
+  reply.header.seq = token.seq;
+  reply.header.source_machine = token.callee_machine;
+  reply.header.dest_machine = token.caller_machine;
+  reply.payload.put_string(message);
+  cluster_.send(std::move(reply));
+}
+
+// ---- dispatcher ---------------------------------------------------------------
+
+void RmiSystem::dispatch_loop(std::uint16_t machine_id) {
+  net::Machine& m = cluster_.machine(machine_id);
+  MachineContext& ctx = *contexts_.at(machine_id);
+  while (auto env = m.receive_blocking()) {
+    if (env->msg.header.kind == wire::MsgKind::Call) {
+      handle_call(machine_id, std::move(*env));
+      continue;
+    }
+    // A reply: wake the caller blocked on this sequence number.
+    PendingReply rep;
+    rep.is_local = false;
+    const std::uint32_t seq = env->msg.header.seq;
+    rep.msg = std::move(env->msg);
+    fulfill_pending(ctx, seq, std::move(rep));
+  }
+}
+
+void RmiSystem::handle_call(std::uint16_t machine_id, net::Envelope env) {
+  net::Machine& m = cluster_.machine(machine_id);
+  MachineContext& ctx = *contexts_.at(machine_id);
+  const wire::MessageHeader& h = env.msg.header;
+  const CompiledCallSite& site = callsite(h.callsite_id);
+  const serial::CallSitePlan& plan = *site.plan;
+  const bool cycle_enabled = site.heavy || plan.needs_cycle_table;
+
+  // Scalars.
+  const std::size_t nscalars = env.msg.payload.get_varint();
+  // Skeleton machinery (generic vs generated unmarshaler).
+  charge_stub(machine_id, site, plan.args.size(), nscalars);
+  std::vector<std::int64_t> scalars(nscalars);
+  for (auto& s : scalars) s = env.msg.payload.get_i64();
+
+  // Object arguments: the dispatcher deserializes while holding the
+  // network (matches the unmarshaler lock discipline of §4).
+  serial::SerialStats pass;
+  serial::SerialReader reader(class_plans_, m.heap(), pass, cycle_enabled);
+  std::vector<om::ObjRef> args(plan.args.size(), nullptr);
+  ReuseSlot* slot = nullptr;
+  std::vector<om::ObjRef> cached;
+  const bool reuse = plan.reuse_args && !site.heavy;
+  if (reuse) {
+    slot = &reuse_slot(ctx, /*ret_side=*/false, h.callsite_id,
+                       plan.args.size());
+    std::scoped_lock lock(slot->mu);
+    cached = slot->cached;
+    // Guard against concurrent executions of this unmarshaler (Fig. 13:
+    // "temp_arr = null" while in use).
+    std::fill(slot->cached.begin(), slot->cached.end(), nullptr);
+  }
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (site.heavy) {
+      args[i] = reader.read_introspective(env.msg.payload);
+    } else if (reuse) {
+      args[i] = reader.read_reusing(env.msg.payload, *plan.args[i],
+                                    cached[i]);
+    } else {
+      args[i] = reader.read(env.msg.payload, *plan.args[i]);
+    }
+  }
+  charge(machine_id, pass);
+  ctx.stats.add_pass(pass);
+  add_site_pass(h.callsite_id, pass);
+  m.clock().advance(SimTime::nanos(cluster_.cost().upcall_dispatch_ns));
+
+  om::ObjRef self = nullptr;
+  {
+    std::scoped_lock lock(ctx.exports_mu);
+    RMIOPT_CHECK(h.target_export < ctx.exports.size(), "unknown export id");
+    self = ctx.exports[h.target_export];
+  }
+  const ReplyToken token{h.callsite_id, h.seq, h.source_machine, machine_id};
+  CallContext cc(*this, m, self, token);
+  HandlerResult res;
+  try {
+    res = methods_[site.method_id].second(cc, scalars, args);
+  } catch (const Error& e) {
+    res = HandlerResult::exception(e.what());
+  }
+
+  // Reply first: the return value may alias the argument graphs, so the
+  // arguments stay live until the reply is serialized (as a GC would
+  // ensure).  Handlers whose *deferred* reply uses argument data must set
+  // args_consumed and manage the graphs themselves.
+  if (!res.deferred) {
+    if (res.is_exception) {
+      send_exception(token, res.error);
+    } else {
+      send_reply(token, res.value, res.give_ownership);
+    }
+  }
+  if (reuse) {
+    RMIOPT_CHECK(!res.args_consumed,
+                 "reuse_args call site must not consume its arguments");
+    std::scoped_lock lock(slot->mu);
+    slot->cached = args;  // retain for the next invocation (§3.3)
+  } else if (!res.args_consumed) {
+    serial::SerialStats freep;
+    free_arg_graphs(m.heap(), args, freep);
+    charge(machine_id, freep);
+    ctx.stats.add_pass(freep);
+  }
+}
+
+void RmiSystem::add_site_pass(std::uint32_t callsite_id,
+                              const serial::SerialStats& pass,
+                              int local_rpcs, int remote_rpcs) {
+  std::scoped_lock lock(site_stats_mu_);
+  RmiStatsSnapshot& s = site_stats_[callsite_id];
+  s.serial += pass;
+  s.local_rpcs += static_cast<std::uint64_t>(local_rpcs);
+  s.remote_rpcs += static_cast<std::uint64_t>(remote_rpcs);
+}
+
+RmiStatsSnapshot RmiSystem::callsite_stats(std::uint32_t callsite_id) const {
+  std::scoped_lock lock(site_stats_mu_);
+  auto it = site_stats_.find(callsite_id);
+  return it == site_stats_.end() ? RmiStatsSnapshot{} : it->second;
+}
+
+std::string RmiSystem::report() const {
+  std::string out =
+      "call site                                 local      remote     "
+      "reused     new(KB)    cycle lookups\n";
+  for (std::size_t id = 0; id < callsites_.size(); ++id) {
+    const RmiStatsSnapshot s =
+        callsite_stats(static_cast<std::uint32_t>(id));
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "%-40s  %-9llu  %-9llu  %-9llu  %-9.1f  %llu\n",
+                  callsites_[id].plan->name.c_str(),
+                  static_cast<unsigned long long>(s.local_rpcs),
+                  static_cast<unsigned long long>(s.remote_rpcs),
+                  static_cast<unsigned long long>(s.serial.objects_reused),
+                  static_cast<double>(s.serial.bytes_allocated) / 1024.0,
+                  static_cast<unsigned long long>(s.serial.cycle_lookups));
+    out += line;
+  }
+  return out;
+}
+
+RmiStatsSnapshot RmiSystem::stats(std::uint16_t machine) const {
+  return contexts_.at(machine)->stats.snapshot();
+}
+
+RmiStatsSnapshot RmiSystem::total_stats() const {
+  RmiStatsSnapshot total;
+  for (const auto& ctx : contexts_) total += ctx->stats.snapshot();
+  return total;
+}
+
+}  // namespace rmiopt::rmi

@@ -1,0 +1,226 @@
+// The RMI runtime: marshaler/unmarshaler dispatch, call execution,
+// argument/return-value reuse caches, and per-machine statistics.
+//
+// Execution model (mirrors Manta-JavaParty, §5):
+//  * every machine runs one dispatcher thread that drains its inbox —
+//    "at any time only one thread can drain the network";
+//  * incoming Call messages are deserialized by the dispatcher (the paper
+//    holds the unmarshaler lock until the user's code starts), then the
+//    user handler runs inline;
+//  * handlers may *defer* their reply (blocking semantics, e.g. a barrier)
+//    and reply later via send_reply() from any thread;
+//  * a same-machine ("local") RMI does not cross the network: arguments
+//    and return value are deep-cloned to preserve RMI's copy semantics
+//    (paper §1) and counted as local rpcs.
+//
+// Per optimization level, the driver installs a CompiledCallSite for every
+// static call site: the marshal plan (class-mode or call-site-specific),
+// the needs-cycle-table flag, and the reuse flags.  The runtime simply
+// executes what the compiler produced.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/cluster.hpp"
+#include "rmi/remote_ref.hpp"
+#include "rmi/stats.hpp"
+#include "serial/class_plans.hpp"
+#include "serial/plan.hpp"
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+
+namespace rmiopt::rmi {
+
+// A compiled call site: everything the compiler decided about one static
+// RMI call site.  `heavy` selects the introspective wire protocol (the
+// pre-KaRMI baseline, used by ablation benches only).
+struct CompiledCallSite {
+  std::unique_ptr<serial::CallSitePlan> plan;
+  std::uint32_t method_id = 0;
+  bool heavy = false;
+  // Call-site-generated marshalers are straight-line code; generic (class
+  // mode) stubs pay per-call boxing/dispatch/skeleton indirections (§1).
+  // Controls which per-call overhead the cost model charges.
+  bool site_specific = false;
+};
+
+class RmiSystem;
+
+// Thrown at the caller when the remote method raised; carries the remote
+// message (Java RMI's RemoteException/cause chain collapsed to a string).
+class RemoteException : public Error {
+ public:
+  explicit RemoteException(const std::string& what) : Error(what) {}
+};
+
+struct HandlerResult {
+  om::ObjRef value = nullptr;
+  // Callee frees the value graph after the reply is serialized (for return
+  // values allocated per call; leave false for values owned by app state).
+  bool give_ownership = false;
+  // Handler took ownership of the argument graphs (they escaped, e.g. into
+  // a queue); the runtime must not free them.
+  bool args_consumed = false;
+  // Reply will be produced later via RmiSystem::send_reply(token, ...).
+  bool deferred = false;
+  // Remote exception: `error` is marshaled back and invoke() throws a
+  // RemoteException at the caller.  Handlers may also simply throw
+  // rmiopt::Error — the dispatcher converts it to this form.
+  bool is_exception = false;
+  std::string error;
+
+  static HandlerResult exception(std::string message) {
+    HandlerResult r;
+    r.is_exception = true;
+    r.error = std::move(message);
+    return r;
+  }
+};
+
+class CallContext {
+ public:
+  CallContext(RmiSystem& sys, net::Machine& machine, om::ObjRef self,
+              ReplyToken token)
+      : sys_(sys), machine_(machine), self_(self), token_(token) {}
+
+  RmiSystem& system() { return sys_; }
+  net::Machine& machine() { return machine_; }
+  om::Heap& heap() { return machine_.heap(); }
+  om::ObjRef self() const { return self_; }
+  ReplyToken reply_token() const { return token_; }
+
+ private:
+  RmiSystem& sys_;
+  net::Machine& machine_;
+  om::ObjRef self_;
+  ReplyToken token_;
+};
+
+// A remote method implementation.  `scalars` carries primitive parameters
+// (they need no marshal plan); `args` carries the object parameters.
+using Handler = std::function<HandlerResult(
+    CallContext&, std::span<const std::int64_t> scalars,
+    std::span<const om::ObjRef> args)>;
+
+class RmiSystem {
+ public:
+  RmiSystem(net::Cluster& cluster, const om::TypeRegistry& types);
+  ~RmiSystem();
+  RmiSystem(const RmiSystem&) = delete;
+  RmiSystem& operator=(const RmiSystem&) = delete;
+
+  // ---- setup (before start) ----------------------------------------------
+  std::uint32_t define_method(std::string name, Handler handler);
+  std::uint32_t add_callsite(CompiledCallSite site);
+  RemoteRef export_object(std::uint16_t machine, om::ObjRef obj);
+
+  void start();  // spawns one dispatcher thread per machine
+  void stop();   // drains and joins the dispatchers
+
+  // ---- invocation ----------------------------------------------------------
+  // Synchronous RMI from `caller` to `target`.  Returns the deserialized
+  // return value: caller-owned, EXCEPT at reuse_ret call sites where the
+  // runtime retains ownership and recycles the graph on the next call.
+  om::ObjRef invoke(std::uint16_t caller, RemoteRef target,
+                    std::uint32_t callsite_id,
+                    std::span<const om::ObjRef> args,
+                    std::span<const std::int64_t> scalars = {});
+
+  // Completes a deferred call.  Thread-safe; callable from any thread.
+  void send_reply(const ReplyToken& token, om::ObjRef value,
+                  bool give_ownership = false);
+  // Completes a deferred call exceptionally.
+  void send_exception(const ReplyToken& token, std::string message);
+
+  // ---- introspection ---------------------------------------------------------
+  RmiStatsSnapshot stats(std::uint16_t machine) const;
+  RmiStatsSnapshot total_stats() const;
+  // Per-call-site counters (the paper gathered its Tables 4/6/8 "on a
+  // separate run of the program with an instrumented runtime system").
+  RmiStatsSnapshot callsite_stats(std::uint32_t callsite_id) const;
+  // A formatted per-call-site report: one row per site with rpc counts,
+  // reuse, allocation volume and cycle lookups.
+  std::string report() const;
+  net::Cluster& cluster() { return cluster_; }
+  const serial::ClassPlanRegistry& class_plans() const { return class_plans_; }
+  const CompiledCallSite& callsite(std::uint32_t id) const;
+
+ private:
+  struct PendingReply {
+    bool is_local = false;
+    om::ObjRef local_value = nullptr;
+    bool is_exception = false;
+    std::string error;
+    wire::Message msg;
+  };
+
+  struct ReuseSlot {
+    std::mutex mu;
+    // One cached graph per object argument (or one entry for the return
+    // value).  nullptr while in use by another thread — the Figure 13
+    // "temp_arr = null" guard.  Under concurrent executions of the same
+    // call site the late finisher's graph wins the slot; the loser's graph
+    // stays live with its caller (bounded by the thread count), exactly
+    // like the paper's per-site static under its unmarshaler lock.
+    std::vector<om::ObjRef> cached;
+  };
+
+  struct MachineContext {
+    RmiStats stats;
+    std::vector<om::ObjRef> exports;
+    std::mutex exports_mu;
+    std::mutex pending_mu;
+    std::unordered_map<std::uint32_t, std::promise<PendingReply>> pending;
+    // callsite id -> reuse state (callee side for args, caller side for ret)
+    std::unordered_map<std::uint32_t, std::unique_ptr<ReuseSlot>> arg_cache;
+    std::unordered_map<std::uint32_t, std::unique_ptr<ReuseSlot>> ret_cache;
+    std::mutex cache_mu;
+    std::thread dispatcher;
+  };
+
+  void dispatch_loop(std::uint16_t machine_id);
+  void handle_call(std::uint16_t machine_id, net::Envelope env);
+  om::ObjRef invoke_local(std::uint16_t caller, RemoteRef target,
+                          const CompiledCallSite& site,
+                          std::span<const om::ObjRef> args,
+                          std::span<const std::int64_t> scalars,
+                          std::uint32_t seq);
+  ReuseSlot& reuse_slot(MachineContext& ctx, bool ret_side,
+                        std::uint32_t callsite_id, std::size_t arity);
+  void charge(std::uint16_t machine_id, const serial::SerialStats& pass);
+  // Per-call marshaler/skeleton machinery: generic stubs additionally box
+  // every argument/scalar/return value (§1's "method table lookups and
+  // skeleton indirections").
+  void charge_stub(std::uint16_t machine_id, const CompiledCallSite& site,
+                   std::size_t nargs, std::size_t nscalars);
+  void free_arg_graphs(om::Heap& heap, std::span<const om::ObjRef> args,
+                       serial::SerialStats& pass);
+  std::promise<PendingReply>& register_pending(MachineContext& ctx,
+                                               std::uint32_t seq);
+  void fulfill_pending(MachineContext& ctx, std::uint32_t seq,
+                       PendingReply reply);
+  PendingReply await_pending(MachineContext& ctx, std::uint32_t seq,
+                             std::future<PendingReply> fut);
+
+  void add_site_pass(std::uint32_t callsite_id, const serial::SerialStats& pass,
+                     int local_rpcs = 0, int remote_rpcs = 0);
+
+  net::Cluster& cluster_;
+  serial::ClassPlanRegistry class_plans_;
+  mutable std::mutex site_stats_mu_;
+  std::unordered_map<std::uint32_t, RmiStatsSnapshot> site_stats_;
+  std::vector<std::unique_ptr<MachineContext>> contexts_;
+  std::vector<std::pair<std::string, Handler>> methods_;
+  std::vector<CompiledCallSite> callsites_;
+  std::atomic<std::uint32_t> next_seq_{1};
+  bool started_ = false;
+};
+
+}  // namespace rmiopt::rmi

@@ -1,0 +1,54 @@
+// Per-machine RMI statistics — the counters behind the paper's
+// "runtime statistics" tables (Tables 4, 6 and 8).
+#pragma once
+
+#include <mutex>
+
+#include "serial/stats.hpp"
+
+namespace rmiopt::rmi {
+
+struct RmiStatsSnapshot {
+  std::uint64_t local_rpcs = 0;
+  std::uint64_t remote_rpcs = 0;
+  serial::SerialStats serial;
+
+  RmiStatsSnapshot& operator+=(const RmiStatsSnapshot& o) {
+    local_rpcs += o.local_rpcs;
+    remote_rpcs += o.remote_rpcs;
+    serial += o.serial;
+    return *this;
+  }
+
+  // "new (MBytes)": allocation volume caused by deserialization (§5.2).
+  double deserialization_mbytes() const {
+    return static_cast<double>(serial.bytes_allocated) / (1024.0 * 1024.0);
+  }
+};
+
+class RmiStats {
+ public:
+  void count_local_rpc() {
+    std::scoped_lock lock(mu_);
+    ++snap_.local_rpcs;
+  }
+  void count_remote_rpc() {
+    std::scoped_lock lock(mu_);
+    ++snap_.remote_rpcs;
+  }
+  void add_pass(const serial::SerialStats& pass) {
+    std::scoped_lock lock(mu_);
+    snap_.serial += pass;
+  }
+
+  RmiStatsSnapshot snapshot() const {
+    std::scoped_lock lock(mu_);
+    return snap_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  RmiStatsSnapshot snap_;
+};
+
+}  // namespace rmiopt::rmi

@@ -1,0 +1,60 @@
+#include "serial/cycle_table.hpp"
+
+#include <bit>
+
+#include "support/error.hpp"
+
+namespace rmiopt::serial {
+
+CycleTable::CycleTable(std::size_t initial_capacity) {
+  const std::size_t cap = std::bit_ceil(std::max<std::size_t>(initial_capacity, 8));
+  slots_.assign(cap, Slot{});
+  shift_ = 64 - static_cast<unsigned>(std::bit_width(cap) - 1);
+}
+
+void CycleTable::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  shift_ -= 1;
+  for (const Slot& s : old) {
+    if (s.key == nullptr) continue;
+    std::size_t i = slot_for(s.key);
+    while (slots_[i].key != nullptr) i = (i + 1) & (slots_.size() - 1);
+    slots_[i] = s;
+  }
+}
+
+std::int32_t CycleTable::lookup_or_insert(om::ObjRef obj) {
+  RMIOPT_CHECK(obj != nullptr, "cycle table does not store null");
+  ++probes_;
+  if (count_ * 4 >= slots_.size() * 3) grow();
+  std::size_t i = slot_for(obj);
+  const std::size_t mask = slots_.size() - 1;
+  while (slots_[i].key != nullptr) {
+    if (slots_[i].key == obj) return slots_[i].handle;
+    i = (i + 1) & mask;
+  }
+  slots_[i].key = obj;
+  slots_[i].handle = next_handle_++;
+  ++count_;
+  return -1;
+}
+
+bool CycleTable::contains(om::ObjRef obj) const {
+  if (obj == nullptr) return false;
+  std::size_t i = slot_for(obj);
+  const std::size_t mask = slots_.size() - 1;
+  while (slots_[i].key != nullptr) {
+    if (slots_[i].key == obj) return true;
+    i = (i + 1) & mask;
+  }
+  return false;
+}
+
+void CycleTable::clear() {
+  for (Slot& s : slots_) s = Slot{};
+  count_ = 0;
+  next_handle_ = 0;
+}
+
+}  // namespace rmiopt::serial

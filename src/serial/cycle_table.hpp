@@ -1,0 +1,57 @@
+// The runtime cycle-detection table.
+//
+// RMI serialization must detect when an object is reached twice so it can
+// emit a back-reference ("handle") instead of re-serializing — otherwise
+// cyclic structures would never terminate and shared structures would lose
+// identity.  The paper's point (§3.2) is that this table is pure overhead
+// when the compiler can prove the argument graph acyclic: its costs are
+// table creation/deletion, one insert per object, and one probe per
+// reference.  We therefore implement it as an open-addressing pointer map
+// and *count every probe* — the "cycle lookups" column of Tables 4/6/8.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "objmodel/heap.hpp"
+#include "support/hash.hpp"
+
+namespace rmiopt::serial {
+
+class CycleTable {
+ public:
+  // Capacity is rounded up to a power of two; grows automatically.
+  explicit CycleTable(std::size_t initial_capacity = 64);
+
+  // Returns the handle previously assigned to `obj`, or -1 after assigning
+  // it the next handle.  One call == one "cycle lookup".
+  std::int32_t lookup_or_insert(om::ObjRef obj);
+
+  // Probe without inserting (deserializer-side handle checks use indices,
+  // not this table, so this is mostly for tests).
+  bool contains(om::ObjRef obj) const;
+
+  void clear();
+
+  std::size_t size() const { return count_; }
+  std::uint64_t probes() const { return probes_; }
+
+ private:
+  struct Slot {
+    om::ObjRef key = nullptr;
+    std::int32_t handle = -1;
+  };
+
+  void grow();
+  std::size_t slot_for(om::ObjRef obj) const {
+    return rmiopt::mix_pointer(obj) >> shift_;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t count_ = 0;
+  unsigned shift_ = 0;  // 64 - log2(capacity), for Fibonacci hashing
+  std::int32_t next_handle_ = 0;
+  std::uint64_t probes_ = 0;
+};
+
+}  // namespace rmiopt::serial

@@ -1,0 +1,235 @@
+#include "serial/reader.hpp"
+
+#include "wire/protocol.hpp"
+
+namespace rmiopt::serial {
+
+SerialReader::SerialReader(const ClassPlanRegistry& class_plans,
+                           om::Heap& heap, SerialStats& stats,
+                           bool cycle_enabled)
+    : class_plans_(class_plans),
+      types_(class_plans.types()),
+      heap_(heap),
+      stats_(stats),
+      cycle_enabled_(cycle_enabled) {}
+
+om::ObjRef SerialReader::fresh_alloc(const om::ClassDescriptor& cls,
+                                     std::uint32_t length) {
+  om::ObjRef obj =
+      cls.is_array ? heap_.alloc_array(cls, length) : heap_.alloc(cls);
+  ++stats_.objects_allocated;
+  stats_.bytes_allocated += sizeof(om::Object) + obj->payload_size();
+  return obj;
+}
+
+void SerialReader::note_handle(om::ObjRef obj, bool node_cycle_check) {
+  // Mirrors the writer: a handle was assigned exactly where a probe ran.
+  if (cycle_enabled_ && node_cycle_check) handles_.push_back(obj);
+}
+
+om::ObjRef SerialReader::read(ByteBuffer& in, const NodePlan& plan) {
+  return read_node(in, plan, nullptr, /*reuse=*/false);
+}
+
+om::ObjRef SerialReader::read_reusing(ByteBuffer& in, const NodePlan& plan,
+                                      om::ObjRef cached) {
+  if (cached == nullptr) return read_node(in, plan, nullptr, /*reuse=*/true);
+
+  // Enumerate the cached graph *before* the walk mutates its reference
+  // slots, so unmatched ("orphaned") cache nodes can be released after.
+  std::vector<om::ObjRef> cache_nodes;
+  {
+    std::unordered_set<om::ObjRef> seen;
+    std::vector<om::ObjRef> stack{cached};
+    while (!stack.empty()) {
+      om::ObjRef o = stack.back();
+      stack.pop_back();
+      if (!seen.insert(o).second) continue;
+      cache_nodes.push_back(o);
+      const om::ClassDescriptor& cls = o->cls();
+      if (cls.is_array) {
+        if (cls.elem_kind == om::TypeKind::Ref) {
+          for (std::uint32_t i = 0; i < o->length(); ++i) {
+            if (om::ObjRef r = o->get_elem_ref(i)) stack.push_back(r);
+          }
+        }
+      } else {
+        for (const auto& f : cls.fields) {
+          if (f.kind != om::TypeKind::Ref) continue;
+          if (om::ObjRef r = o->get_ref(f)) stack.push_back(r);
+        }
+      }
+    }
+  }
+
+  om::ObjRef result = read_node(in, plan, cached, /*reuse=*/true);
+
+  if (consumed_.size() != cache_nodes.size()) {
+    for (om::ObjRef o : cache_nodes) {
+      if (consumed_.contains(o)) continue;
+      heap_.free(o);
+      ++stats_.objects_freed;
+    }
+  }
+  return result;
+}
+
+om::ObjRef SerialReader::read_node(ByteBuffer& in, const NodePlan& plan,
+                                   om::ObjRef cached, bool reuse) {
+  if (plan.recurse_to != nullptr) {
+    return read_node(in, *plan.recurse_to, cached, reuse);
+  }
+  const auto tag = static_cast<wire::ObjTag>(in.get_u8());
+  if (tag == wire::kTagNull) return nullptr;
+  if (tag == wire::kTagHandle) {
+    RMIOPT_CHECK(cycle_enabled_, "handle tag without cycle protocol");
+    const std::uint64_t idx = in.get_varint();
+    RMIOPT_CHECK(idx < handles_.size(), "dangling back-reference handle");
+    return handles_[idx];
+  }
+  RMIOPT_CHECK(tag == wire::kTagInline, "corrupt object tag");
+
+  if (plan.dynamic_dispatch) {
+    const auto runtime_class = static_cast<om::ClassId>(in.get_varint());
+    ++stats_.type_decodes;  // hash the descriptor to vtable pointers (§4)
+    const om::ClassDescriptor& cls = types_.get(runtime_class);
+    return read_body(in, class_plans_.plan_for(runtime_class), cls,
+                     plan.cycle_check, cached, reuse);
+  }
+
+  if (plan.type_info == TypeInfoMode::CompactId) {
+    const auto wire_class = static_cast<om::ClassId>(in.get_varint());
+    ++stats_.type_decodes;
+    RMIOPT_CHECK(wire_class == plan.expected_class,
+                 "wire type does not match call-site plan");
+  }
+  return read_body(in, plan, types_.get(plan.expected_class),
+                   plan.cycle_check, cached, reuse);
+}
+
+namespace {
+
+// Protocol hardening: an array length (possibly corrupted in transit) must
+// be consistent with the bytes actually present — a primitive array's
+// payload follows inline, and every reference element needs at least its
+// tag byte.  Rejecting early prevents attacker/corruption-controlled
+// allocation sizes.
+void check_array_length(const ByteBuffer& in, const om::ClassDescriptor& cls,
+                        std::uint64_t length) {
+  const std::size_t min_bytes =
+      cls.elem_kind == om::TypeKind::Ref
+          ? length
+          : length * om::size_of(cls.elem_kind);
+  RMIOPT_CHECK(length <= 0x7fffffffull && min_bytes <= in.remaining(),
+               "array length exceeds message size (corrupt stream)");
+}
+
+}  // namespace
+
+om::ObjRef SerialReader::read_body(ByteBuffer& in, const NodePlan& body,
+                                   const om::ClassDescriptor& cls,
+                                   bool node_cycle_check, om::ObjRef cached,
+                                   bool reuse) {
+  if (cls.is_array) {
+    const std::uint64_t wire_length = in.get_varint();
+    check_array_length(in, cls, wire_length);
+    const auto length = static_cast<std::uint32_t>(wire_length);
+    om::ObjRef obj;
+    // Figure 13: reuse the cached array iff type and size match; otherwise
+    // allocate a fresh one ("if an array size is mismatched ... a new
+    // array of the correct size is allocated").
+    if (reuse && cached != nullptr && cached->class_id() == cls.id &&
+        cached->length() == length) {
+      obj = cached;
+      consumed_.insert(obj);
+      ++stats_.objects_reused;
+    } else {
+      obj = fresh_alloc(cls, length);
+      cached = nullptr;  // shape mismatch: children have no counterpart
+    }
+    note_handle(obj, node_cycle_check);
+    const bool reused_here = cached != nullptr;  // after the branch above
+    if (cls.elem_kind == om::TypeKind::Ref) {
+      RMIOPT_CHECK(body.elem_plan != nullptr, "ref array plan lacks element plan");
+      for (std::uint32_t i = 0; i < length; ++i) {
+        om::ObjRef cached_elem = reused_here ? obj->get_elem_ref(i) : nullptr;
+        obj->set_elem_ref(i, read_node(in, *body.elem_plan, cached_elem, reuse));
+      }
+    } else {
+      in.get_bytes(obj->payload(), obj->payload_size());
+      stats_.bytes_copied_rx += obj->payload_size();
+    }
+    return obj;
+  }
+
+  om::ObjRef obj;
+  if (reuse && cached != nullptr && cached->class_id() == cls.id) {
+    obj = cached;
+    consumed_.insert(obj);
+    ++stats_.objects_reused;
+  } else {
+    obj = fresh_alloc(cls, 0);
+    cached = nullptr;
+  }
+  note_handle(obj, node_cycle_check);
+  const bool reused_here = cached != nullptr;
+  for (const auto& fa : body.fields) {
+    const om::FieldDescriptor& f = *fa.field;
+    if (f.kind == om::TypeKind::Ref) {
+      RMIOPT_CHECK(fa.ref_plan != nullptr, "ref field plan missing");
+      om::ObjRef cached_ref = reused_here ? obj->get_ref(f) : nullptr;
+      obj->set_ref(f, read_node(in, *fa.ref_plan, cached_ref, reuse));
+    } else {
+      in.get_bytes(obj->payload() + f.offset, size_of(f.kind));
+      ++stats_.fields_marshaled;
+    }
+  }
+  return obj;
+}
+
+om::ObjRef SerialReader::read_introspective(ByteBuffer& in) {
+  const auto tag = static_cast<wire::ObjTag>(in.get_u8());
+  if (tag == wire::kTagNull) return nullptr;
+  if (tag == wire::kTagHandle) {
+    const std::uint64_t idx = in.get_varint();
+    RMIOPT_CHECK(idx < handles_.size(), "dangling back-reference handle");
+    return handles_[idx];
+  }
+  RMIOPT_CHECK(tag == wire::kTagInline, "corrupt object tag");
+
+  const std::string name = in.get_string();
+  ++stats_.type_decodes;
+  const om::ClassDescriptor* cls = types_.find_by_name(name);
+  RMIOPT_CHECK(cls != nullptr, "unknown class on wire: " + name);
+
+  if (cls->is_array) {
+    const std::uint64_t wire_length = in.get_varint();
+    check_array_length(in, *cls, wire_length);
+    const auto length = static_cast<std::uint32_t>(wire_length);
+    om::ObjRef obj = fresh_alloc(*cls, length);
+    handles_.push_back(obj);
+    if (cls->elem_kind == om::TypeKind::Ref) {
+      for (std::uint32_t i = 0; i < length; ++i) {
+        obj->set_elem_ref(i, read_introspective(in));
+      }
+    } else {
+      in.get_bytes(obj->payload(), obj->payload_size());
+      stats_.bytes_copied_rx += obj->payload_size();
+    }
+    return obj;
+  }
+  om::ObjRef obj = fresh_alloc(*cls, 0);
+  handles_.push_back(obj);
+  for (const auto& f : cls->fields) {
+    ++stats_.introspected_fields;
+    if (f.kind == om::TypeKind::Ref) {
+      obj->set_ref(f, read_introspective(in));
+    } else {
+      in.get_bytes(obj->payload() + f.offset, size_of(f.kind));
+      ++stats_.fields_marshaled;
+    }
+  }
+  return obj;
+}
+
+}  // namespace rmiopt::serial

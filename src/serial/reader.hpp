@@ -1,0 +1,59 @@
+// SerialReader: executes unmarshal plans to reconstitute object graphs
+// from wire bytes, with optional argument/return-value reuse (§3.3).
+//
+// One SerialReader corresponds to one deserialization pass (one message).
+// It tracks every allocation it performs — that is the "new (MBytes)"
+// column of Tables 4/6/8 — and, in reuse mode, rewrites a cached graph from
+// a previous invocation in place instead of allocating, exactly like the
+// generated unmarshaler of Figure 13 (including the runtime type/size
+// check and the fresh-allocation fallback on mismatch).
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "objmodel/heap.hpp"
+#include "serial/class_plans.hpp"
+#include "serial/plan.hpp"
+#include "serial/stats.hpp"
+#include "support/bytebuffer.hpp"
+
+namespace rmiopt::serial {
+
+class SerialReader {
+ public:
+  SerialReader(const ClassPlanRegistry& class_plans, om::Heap& heap,
+               SerialStats& stats, bool cycle_enabled);
+
+  // Deserializes one value according to `plan`, allocating fresh objects.
+  om::ObjRef read(ByteBuffer& in, const NodePlan& plan);
+
+  // Deserializes one value, reusing the graph rooted at `cached` (from the
+  // previous invocation at this call site) wherever runtime type and array
+  // sizes match.  Cached objects that the incoming stream did not match are
+  // freed.  Pass `cached == nullptr` for the cold first call.
+  om::ObjRef read_reusing(ByteBuffer& in, const NodePlan& plan,
+                          om::ObjRef cached);
+
+  // Deserializes a HEAVY (introspective) stream.
+  om::ObjRef read_introspective(ByteBuffer& in);
+
+ private:
+  om::ObjRef read_node(ByteBuffer& in, const NodePlan& plan,
+                       om::ObjRef cached, bool reuse);
+  om::ObjRef read_body(ByteBuffer& in, const NodePlan& body,
+                       const om::ClassDescriptor& cls, bool node_cycle_check,
+                       om::ObjRef cached, bool reuse);
+  om::ObjRef fresh_alloc(const om::ClassDescriptor& cls, std::uint32_t length);
+  void note_handle(om::ObjRef obj, bool node_cycle_check);
+
+  const ClassPlanRegistry& class_plans_;
+  const om::TypeRegistry& types_;
+  om::Heap& heap_;
+  SerialStats& stats_;
+  const bool cycle_enabled_;
+  std::vector<om::ObjRef> handles_;
+  std::unordered_set<om::ObjRef> consumed_;  // reused cache nodes
+};
+
+}  // namespace rmiopt::serial

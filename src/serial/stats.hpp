@@ -1,0 +1,74 @@
+// Event counters for one (de)serialization pass.
+//
+// The serializers count events; the cost model converts the counts to
+// virtual time; the RMI layer aggregates them into per-machine RmiStats
+// (the "runtime statistics" columns of the paper's Tables 4, 6 and 8).
+#pragma once
+
+#include <cstdint>
+
+#include "serial/cost_model.hpp"
+#include "support/sim_time.hpp"
+
+namespace rmiopt::serial {
+
+struct SerialStats {
+  std::uint64_t serializer_invocations = 0;  // dynamic serialize() calls
+  std::uint64_t fields_marshaled = 0;        // scalar fields moved
+  std::uint64_t introspected_fields = 0;     // reflective walks (HEAVY only)
+  std::uint64_t bytes_copied = 0;            // bulk payload bytes (send)
+  std::uint64_t bytes_copied_rx = 0;         // bulk payload bytes (receive)
+  std::uint64_t cycle_lookups = 0;           // cycle-table probes
+  std::uint64_t cycle_tables_created = 0;
+  std::uint64_t type_info_bytes = 0;         // wire bytes spent on types
+  std::uint64_t type_decodes = 0;            // receiver-side type resolution
+  std::uint64_t objects_allocated = 0;       // deserialization allocations
+  std::uint64_t bytes_allocated = 0;         //   ... their payload volume
+  std::uint64_t objects_reused = 0;          // reuse-cache hits (§3.3)
+  std::uint64_t objects_freed = 0;           // graphs released post-call
+
+  SerialStats& operator+=(const SerialStats& o) {
+    serializer_invocations += o.serializer_invocations;
+    fields_marshaled += o.fields_marshaled;
+    introspected_fields += o.introspected_fields;
+    bytes_copied += o.bytes_copied;
+    bytes_copied_rx += o.bytes_copied_rx;
+    cycle_lookups += o.cycle_lookups;
+    cycle_tables_created += o.cycle_tables_created;
+    type_info_bytes += o.type_info_bytes;
+    type_decodes += o.type_decodes;
+    objects_allocated += o.objects_allocated;
+    bytes_allocated += o.bytes_allocated;
+    objects_reused += o.objects_reused;
+    objects_freed += o.objects_freed;
+    return *this;
+  }
+
+  // Virtual CPU time this pass costs under `m`.
+  SimTime cpu_cost(const CostModel& m) const {
+    std::int64_t ns = 0;
+    ns += static_cast<std::int64_t>(serializer_invocations) * m.serializer_invoke_ns;
+    ns += static_cast<std::int64_t>(fields_marshaled) * m.field_marshal_ns;
+    ns += static_cast<std::int64_t>(introspected_fields) * m.introspect_field_ns;
+    ns += static_cast<std::int64_t>(cycle_lookups) * m.cycle_probe_ns;
+    ns += static_cast<std::int64_t>(cycle_tables_created) * m.cycle_table_setup_ns;
+    ns += static_cast<std::int64_t>(type_decodes) * m.type_decode_ns;
+    ns += static_cast<std::int64_t>(objects_allocated) *
+          (m.alloc_ns + m.gc_amortized_ns);
+    ns += static_cast<std::int64_t>(objects_freed) * m.free_ns;
+    SimTime t = SimTime::nanos(ns) + m.for_bytes_copied(bytes_copied);
+    if (m.zero_copy_receive) {
+      // Kono/Masuda-style dynamic specialization ([10], §6): received
+      // primitive payloads are used directly from the network buffer
+      // after light preprocessing instead of being copied out.
+      t += SimTime::nanos(static_cast<std::int64_t>(
+          m.zero_copy_preprocess_ns_per_kb *
+          (static_cast<double>(bytes_copied_rx) / 1024.0)));
+    } else {
+      t += m.for_bytes_copied(bytes_copied_rx);
+    }
+    return t;
+  }
+};
+
+}  // namespace rmiopt::serial

@@ -1,0 +1,150 @@
+#include "serial/writer.hpp"
+
+#include "wire/protocol.hpp"
+
+namespace rmiopt::serial {
+
+SerialWriter::SerialWriter(const ClassPlanRegistry& class_plans,
+                           SerialStats& stats, bool cycle_enabled)
+    : class_plans_(class_plans),
+      types_(class_plans.types()),
+      stats_(stats),
+      cycle_enabled_(cycle_enabled) {}
+
+bool SerialWriter::write_prologue(ByteBuffer& out, bool cycle_check,
+                                  om::ObjRef obj) {
+  if (obj == nullptr) {
+    out.put_u8(wire::kTagNull);
+    return true;
+  }
+  if (cycle_enabled_ && cycle_check) {
+    if (!table_used_) {
+      // Messages that never serialize an object pay no table setup.
+      table_used_ = true;
+      ++stats_.cycle_tables_created;
+    }
+    ++stats_.cycle_lookups;
+    const std::int32_t handle = cycles_.lookup_or_insert(obj);
+    if (handle >= 0) {
+      out.put_u8(wire::kTagHandle);
+      out.put_varint(static_cast<std::uint64_t>(handle));
+      return true;
+    }
+  }
+  out.put_u8(wire::kTagInline);
+  return false;
+}
+
+void SerialWriter::write(ByteBuffer& out, const NodePlan& plan,
+                         om::ObjRef obj) {
+  if (plan.recurse_to != nullptr) {
+    // Monomorphic recursion: loop back into the ancestor's inlined body.
+    write(out, *plan.recurse_to, obj);
+    return;
+  }
+  if (write_prologue(out, plan.cycle_check, obj)) return;
+
+  if (plan.dynamic_dispatch) {
+    // Explicit invocation of the runtime class's generated serializer —
+    // what class-specific serialization pays per object (§3.1, Fig. 7).
+    ++stats_.serializer_invocations;
+    const om::ClassId runtime_class = obj->class_id();
+    const std::size_t before = out.size();
+    out.put_varint(runtime_class);
+    stats_.type_info_bytes += out.size() - before;
+    write_body(out, class_plans_.plan_for(runtime_class), obj);
+    return;
+  }
+
+  // Inline node: the compiler proved the exact runtime type, so no type
+  // information goes on the wire and no serializer call is made.
+  RMIOPT_CHECK(obj->class_id() == plan.expected_class,
+               "call-site plan type mismatch for class " + obj->cls().name +
+                   " (compiler bug)");
+  if (plan.type_info == TypeInfoMode::CompactId) {
+    const std::size_t before = out.size();
+    out.put_varint(plan.expected_class);
+    stats_.type_info_bytes += out.size() - before;
+  }
+  write_body(out, plan, obj);
+}
+
+void SerialWriter::write_body(ByteBuffer& out, const NodePlan& body,
+                              om::ObjRef obj) {
+  const om::ClassDescriptor& cls = obj->cls();
+  if (cls.is_array) {
+    out.put_varint(obj->length());
+    if (cls.elem_kind == om::TypeKind::Ref) {
+      const NodePlan* elem =
+          body.elem_plan ? body.elem_plan.get() : nullptr;
+      RMIOPT_CHECK(elem != nullptr, "ref array plan lacks element plan");
+      for (std::uint32_t i = 0; i < obj->length(); ++i) {
+        write(out, *elem, obj->get_elem_ref(i));
+      }
+    } else {
+      out.put_bytes(obj->payload(), obj->payload_size());
+      stats_.bytes_copied += obj->payload_size();
+    }
+    return;
+  }
+  for (const auto& fa : body.fields) {
+    const om::FieldDescriptor& f = *fa.field;
+    if (f.kind == om::TypeKind::Ref) {
+      RMIOPT_CHECK(fa.ref_plan != nullptr, "ref field plan missing");
+      write(out, *fa.ref_plan, obj->get_ref(f));
+    } else {
+      out.put_bytes(obj->payload() + f.offset, size_of(f.kind));
+      ++stats_.fields_marshaled;
+    }
+  }
+}
+
+void SerialWriter::write_introspective(ByteBuffer& out, om::ObjRef obj) {
+  if (obj == nullptr) {
+    out.put_u8(wire::kTagNull);
+    return;
+  }
+  // The HEAVY protocol always cycle-checks, independent of the pass flag.
+  if (!table_used_) {
+    table_used_ = true;
+    ++stats_.cycle_tables_created;
+  }
+  ++stats_.cycle_lookups;
+  const std::int32_t handle = cycles_.lookup_or_insert(obj);
+  if (handle >= 0) {
+    out.put_u8(wire::kTagHandle);
+    out.put_varint(static_cast<std::uint64_t>(handle));
+    return;
+  }
+  out.put_u8(wire::kTagInline);
+  ++stats_.serializer_invocations;
+
+  const om::ClassDescriptor& cls = obj->cls();
+  const std::size_t before = out.size();
+  out.put_string(cls.name);
+  stats_.type_info_bytes += out.size() - before;
+
+  if (cls.is_array) {
+    out.put_varint(obj->length());
+    if (cls.elem_kind == om::TypeKind::Ref) {
+      for (std::uint32_t i = 0; i < obj->length(); ++i) {
+        write_introspective(out, obj->get_elem_ref(i));
+      }
+    } else {
+      out.put_bytes(obj->payload(), obj->payload_size());
+      stats_.bytes_copied += obj->payload_size();
+    }
+    return;
+  }
+  for (const auto& f : cls.fields) {
+    ++stats_.introspected_fields;  // runtime layout examination
+    if (f.kind == om::TypeKind::Ref) {
+      write_introspective(out, obj->get_ref(f));
+    } else {
+      out.put_bytes(obj->payload() + f.offset, size_of(f.kind));
+      ++stats_.fields_marshaled;
+    }
+  }
+}
+
+}  // namespace rmiopt::serial

@@ -1,0 +1,44 @@
+// SerialWriter: executes marshal plans (and the reflective fallback) to
+// turn object graphs into wire bytes.
+//
+// One SerialWriter instance corresponds to one serialization *pass* (one
+// message): it owns the pass's cycle table — created only when the call
+// site needs one, which is exactly the §3.2 optimization — and accumulates
+// event counts into the caller's SerialStats.
+#pragma once
+
+#include "objmodel/heap.hpp"
+#include "serial/class_plans.hpp"
+#include "serial/cycle_table.hpp"
+#include "serial/plan.hpp"
+#include "serial/stats.hpp"
+#include "support/bytebuffer.hpp"
+
+namespace rmiopt::serial {
+
+class SerialWriter {
+ public:
+  SerialWriter(const ClassPlanRegistry& class_plans, SerialStats& stats,
+               bool cycle_enabled);
+
+  // Serializes `obj` according to `plan` (call-site or class mode).
+  void write(ByteBuffer& out, const NodePlan& plan, om::ObjRef obj);
+
+  // Serializes `obj` with full runtime introspection and class names on the
+  // wire (the Sun-RMI-like HEAVY protocol; always cycle-checks).
+  void write_introspective(ByteBuffer& out, om::ObjRef obj);
+
+ private:
+  void write_body(ByteBuffer& out, const NodePlan& body, om::ObjRef obj);
+  // Returns true if a tag terminated the node (null or back-reference).
+  bool write_prologue(ByteBuffer& out, bool cycle_check, om::ObjRef obj);
+
+  const ClassPlanRegistry& class_plans_;
+  const om::TypeRegistry& types_;
+  SerialStats& stats_;
+  const bool cycle_enabled_;
+  bool table_used_ = false;  // lazily count table creation on first probe
+  CycleTable cycles_;
+};
+
+}  // namespace rmiopt::serial

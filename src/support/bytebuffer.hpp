@@ -1,0 +1,139 @@
+// Growable byte buffer with primitive put/get accessors.
+//
+// This is the payload carrier of the wire protocol.  Values are encoded
+// little-endian (the simulated cluster is homogeneous, as was the paper's
+// Pentium-III cluster, so no byte swapping is needed).  Unsigned LEB128
+// varints are provided for the compact type encoding used by the
+// class-specific protocol (KaRMI-style "more compact encoding of types").
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace rmiopt {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  // ---- writing -----------------------------------------------------------
+  template <typename T>
+  void put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t old = bytes_.size();
+    bytes_.resize(old + sizeof(T));
+    std::memcpy(bytes_.data() + old, &value, sizeof(T));
+  }
+
+  void put_u8(std::uint8_t v) { put(v); }
+  void put_i32(std::int32_t v) { put(v); }
+  void put_u32(std::uint32_t v) { put(v); }
+  void put_i64(std::int64_t v) { put(v); }
+  void put_f64(double v) { put(v); }
+
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void put_bytes(const void* data, std::size_t len) {
+    const std::size_t old = bytes_.size();
+    bytes_.resize(old + len);
+    std::memcpy(bytes_.data() + old, data, len);
+  }
+
+  void put_string(std::string_view s) {
+    put_varint(s.size());
+    put_bytes(s.data(), s.size());
+  }
+
+  // Bulk append of a primitive array payload (e.g. a double[] row).
+  template <typename T>
+  void put_array(std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put_bytes(values.data(), values.size_bytes());
+  }
+
+  // ---- reading -----------------------------------------------------------
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    RMIOPT_CHECK(read_pos_ + sizeof(T) <= bytes_.size(),
+                 "ByteBuffer underflow");
+    T value;
+    std::memcpy(&value, bytes_.data() + read_pos_, sizeof(T));
+    read_pos_ += sizeof(T);
+    return value;
+  }
+
+  std::uint8_t get_u8() { return get<std::uint8_t>(); }
+  std::int32_t get_i32() { return get<std::int32_t>(); }
+  std::uint32_t get_u32() { return get<std::uint32_t>(); }
+  std::int64_t get_i64() { return get<std::int64_t>(); }
+  double get_f64() { return get<double>(); }
+
+  std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      RMIOPT_CHECK(read_pos_ < bytes_.size(), "varint underflow");
+      const std::uint8_t b = bytes_[read_pos_++];
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+      RMIOPT_CHECK(shift < 64, "varint overflow");
+    }
+    return v;
+  }
+
+  void get_bytes(void* out, std::size_t len) {
+    RMIOPT_CHECK(read_pos_ + len <= bytes_.size(), "ByteBuffer underflow");
+    std::memcpy(out, bytes_.data() + read_pos_, len);
+    read_pos_ += len;
+  }
+
+  std::string get_string() {
+    const std::size_t len = get_varint();
+    RMIOPT_CHECK(read_pos_ + len <= bytes_.size(), "string underflow");
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + read_pos_),
+                  len);
+    read_pos_ += len;
+    return s;
+  }
+
+  template <typename T>
+  void get_array(std::span<T> out) {
+    get_bytes(out.data(), out.size_bytes());
+  }
+
+  // ---- cursor / capacity --------------------------------------------------
+  std::size_t size() const { return bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - read_pos_; }
+  std::size_t read_pos() const { return read_pos_; }
+  void rewind() { read_pos_ = 0; }
+  void clear() {
+    bytes_.clear();
+    read_pos_ = 0;
+  }
+  void reserve(std::size_t n) { bytes_.reserve(n); }
+
+  std::span<const std::uint8_t> contents() const { return bytes_; }
+  std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t read_pos_ = 0;
+};
+
+}  // namespace rmiopt

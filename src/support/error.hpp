@@ -1,0 +1,29 @@
+// Error handling for the rmiopt library.
+//
+// The library throws `rmiopt::Error` (a std::runtime_error) for programmer
+// errors and protocol violations.  `RMIOPT_CHECK` is used for internal
+// invariants that indicate a bug if violated; it is always on (the checks
+// guard correctness of the serializers, not hot inner loops).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rmiopt {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail(const std::string& msg) { throw Error(msg); }
+
+#define RMIOPT_CHECK(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::rmiopt::fail(std::string("check failed: ") + (msg) + " at " + \
+                     __FILE__ + ":" + std::to_string(__LINE__));      \
+    }                                                                 \
+  } while (0)
+
+}  // namespace rmiopt

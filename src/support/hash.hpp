@@ -1,0 +1,41 @@
+// Small hashing utilities shared by the cycle table, the wire protocol and
+// the web-server application (URL hashing mirrors Java's String.hashCode).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rmiopt {
+
+// FNV-1a 64-bit, used for structural hashing of byte ranges.
+inline std::uint64_t fnv1a(const void* data, std::size_t len,
+                           std::uint64_t seed = 0xcbf29ce484222325ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(std::string_view s) {
+  return fnv1a(s.data(), s.size());
+}
+
+// Pointer mixing (Fibonacci hashing); used by the open-addressing cycle
+// table where keys are object addresses.
+inline std::uint64_t mix_pointer(const void* p) {
+  auto v = reinterpret_cast<std::uintptr_t>(p);
+  return static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ull;
+}
+
+// Java-compatible String.hashCode(); the paper's web server routes requests
+// with `server[url.hashCode()]`, so we reproduce the same function.
+inline std::int32_t java_string_hash(std::string_view s) {
+  std::uint32_t h = 0;  // unsigned to make the wraparound well-defined
+  for (unsigned char c : s) h = 31u * h + c;
+  return static_cast<std::int32_t>(h);
+}
+
+}  // namespace rmiopt

@@ -1,0 +1,37 @@
+// Deterministic random number generation (SplitMix64).
+//
+// All workload generators take an explicit seed so that every benchmark run
+// and every test is reproducible bit-for-bit; nothing in the library calls
+// a global RNG.
+#pragma once
+
+#include <cstdint>
+
+namespace rmiopt {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  std::int64_t next_i64() { return static_cast<std::int64_t>(next()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rmiopt

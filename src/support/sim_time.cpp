@@ -1,0 +1,20 @@
+#include "support/sim_time.hpp"
+
+#include <cstdio>
+
+namespace rmiopt {
+
+std::string SimTime::to_string() const {
+  char buf[64];
+  if (ns_ >= 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fs", as_seconds());
+  } else if (ns_ >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms",
+                  static_cast<double>(ns_) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fus", as_micros());
+  }
+  return buf;
+}
+
+}  // namespace rmiopt

@@ -1,0 +1,54 @@
+// Virtual time for the simulated cluster.
+//
+// The paper measured wall-clock seconds on 1 GHz Pentium III nodes with a
+// Myrinet/GM network.  We cannot reproduce that hardware, so every machine
+// in the simulated cluster carries a virtual clock measured in integer
+// nanoseconds; the network model and the serializer cost model charge this
+// clock.  Integer nanoseconds keep accumulation exact and deterministic
+// across runs (no floating point drift).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rmiopt {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime nanos(std::int64_t n) { return SimTime(n); }
+  static constexpr SimTime micros(std::int64_t u) { return SimTime(u * 1000); }
+  static constexpr SimTime millis(std::int64_t m) {
+    return SimTime(m * 1'000'000);
+  }
+  static constexpr SimTime seconds(std::int64_t s) {
+    return SimTime(s * 1'000'000'000);
+  }
+
+  constexpr std::int64_t as_nanos() const { return ns_; }
+  constexpr double as_micros() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double as_seconds() const {
+    return static_cast<double>(ns_) / 1e9;
+  }
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime(ns_ + o.ns_); }
+  constexpr SimTime operator-(SimTime o) const { return SimTime(ns_ - o.ns_); }
+  SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime operator*(std::int64_t k) const {
+    return SimTime(ns_ * k);
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+inline SimTime max(SimTime a, SimTime b) { return a < b ? b : a; }
+
+}  // namespace rmiopt

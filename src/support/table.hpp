@@ -1,0 +1,33 @@
+// Plain-text table formatting for the benchmark harness.
+//
+// Every bench binary prints rows in the same layout as the paper's tables
+// ("Compiler Optimization | seconds | gain over 'class'"); this helper
+// right-pads columns so the output is directly comparable to the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rmiopt {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with a header separator line, columns padded to widest cell.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats `value` with `decimals` fraction digits (e.g. 13.0 -> "13.0").
+std::string fmt_fixed(double value, int decimals);
+
+// Formats a gain percentage the way the paper prints it ("13.0%").
+std::string fmt_gain(double baseline, double value);
+
+}  // namespace rmiopt

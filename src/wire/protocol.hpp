@@ -1,0 +1,58 @@
+// Wire protocol: message framing and the object-stream tag set.
+//
+// Three protocol flavours coexist, mirroring the paper's three serializer
+// generations:
+//
+//  * HEAVY  (Sun-RMI-like, used by the introspective serializer): every
+//    object is preceded by its full class *name*; the receiver resolves the
+//    name to a descriptor for every single object.
+//  * COMPACT (class-specific serializers, KaRMI/Manta-style): every object
+//    is preceded by a varint class *id* — "a single integer in
+//    Manta-JavaParty" that the receiver hashes to a vtable.
+//  * BARE   (call-site-specific serializers, this paper): no per-object
+//    type information at all; both sides execute the same generated plan,
+//    so the stream contains only data, array lengths, and — when the
+//    compiler could not prove acyclicity — cycle tags/handles.
+#pragma once
+
+#include <cstdint>
+
+#include "support/bytebuffer.hpp"
+
+namespace rmiopt::wire {
+
+enum class MsgKind : std::uint8_t {
+  Call,       // request: payload = serialized arguments
+  Return,     // response with serialized return value
+  Ack,        // response without a value (return elided at the call site)
+  Exception,  // response carrying a remote exception message
+};
+
+// Object-stream tags.  BARE streams use Ref* tags only where cycle
+// detection is on; where the compiler proved acyclicity no tags appear.
+enum ObjTag : std::uint8_t {
+  kTagNull = 0,
+  kTagInline = 1,  // object data follows
+  kTagHandle = 2,  // varint back-reference to an already-sent object
+};
+
+struct MessageHeader {
+  MsgKind kind = MsgKind::Call;
+  std::uint32_t callsite_id = 0;    // selects the (un)marshaler pair
+  std::uint32_t target_export = 0;  // exported object id on the callee
+  std::uint32_t seq = 0;            // request/reply matching
+  std::uint16_t source_machine = 0;
+  std::uint16_t dest_machine = 0;
+};
+
+struct Message {
+  MessageHeader header;
+  ByteBuffer payload;
+
+  // Total bytes this message occupies on the (simulated) wire.
+  std::size_t wire_size() const {
+    return sizeof(MessageHeader) + payload.size();
+  }
+};
+
+}  // namespace rmiopt::wire

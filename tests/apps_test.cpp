@@ -1,0 +1,216 @@
+// Integration tests for the three benchmark applications: functional
+// correctness under every optimization level, plus the qualitative shapes
+// of Tables 3–8.
+#include <gtest/gtest.h>
+
+#include "apps/lu.hpp"
+#include "apps/superopt.hpp"
+#include "apps/webserver.hpp"
+
+namespace rmiopt::apps {
+namespace {
+
+using codegen::OptLevel;
+
+// ---- LU (§5.2) --------------------------------------------------------------
+
+TEST(Lu, FactorsCorrectlyAtEveryLevel) {
+  LuConfig cfg;
+  cfg.n = 24;
+  for (OptLevel level : codegen::kPaperLevels) {
+    const RunResult r = run_lu(level, cfg);
+    EXPECT_LT(r.check, 1e-9) << codegen::to_string(level);
+  }
+}
+
+TEST(Lu, WorksOnOneMachineAllLocal) {
+  LuConfig cfg;
+  cfg.n = 16;
+  cfg.machines = 1;
+  const RunResult r = run_lu(OptLevel::SiteReuseCycle, cfg);
+  EXPECT_LT(r.check, 1e-9);
+  EXPECT_EQ(r.total.remote_rpcs, 0u);
+  EXPECT_GT(r.total.local_rpcs, 0u);  // barriers are local RMIs
+}
+
+TEST(Lu, WorksOnFourMachines) {
+  LuConfig cfg;
+  cfg.n = 24;
+  cfg.machines = 4;
+  const RunResult r = run_lu(OptLevel::SiteReuseCycle, cfg);
+  EXPECT_LT(r.check, 1e-9);
+}
+
+TEST(Lu, Table3Shape) {
+  LuConfig cfg;
+  cfg.n = 32;
+  const auto t_class = run_lu(OptLevel::Class, cfg).makespan;
+  const auto t_site = run_lu(OptLevel::Site, cfg).makespan;
+  const auto t_site_cycle = run_lu(OptLevel::SiteCycle, cfg).makespan;
+  const auto t_all = run_lu(OptLevel::SiteReuseCycle, cfg).makespan;
+  // Table 3: class slowest; site helps most; cycle elision helps further;
+  // everything on is fastest.
+  EXPECT_LT(t_site, t_class);
+  EXPECT_LT(t_site_cycle, t_site);
+  EXPECT_LE(t_all, t_site_cycle);
+}
+
+TEST(Lu, Table4StatsShape) {
+  LuConfig cfg;
+  cfg.n = 32;
+  const RunResult klass = run_lu(OptLevel::Class, cfg);
+  const RunResult site_cycle = run_lu(OptLevel::SiteCycle, cfg);
+  const RunResult reuse = run_lu(OptLevel::SiteReuseCycle, cfg);
+
+  // RPC counts are level-independent (Table 4 columns 3-4).
+  EXPECT_EQ(klass.total.remote_rpcs, reuse.total.remote_rpcs);
+  EXPECT_EQ(klass.total.local_rpcs, reuse.total.local_rpcs);
+  // Reuse shrinks deserialization allocation volume and reuses objects.
+  EXPECT_EQ(klass.total.serial.objects_reused, 0u);
+  EXPECT_GT(reuse.total.serial.objects_reused, 0u);
+  EXPECT_LT(reuse.total.serial.bytes_allocated,
+            klass.total.serial.bytes_allocated);
+  // Cycle elision removes (almost) all cycle lookups; the residue comes
+  // from the runtime system's class-mode bootstrap RMIs, exactly like the
+  // paper's Table 4 ("The remaining two cycle checks are from two RMIs
+  // from the initialization of the Javaparty runtime system").
+  EXPECT_GT(klass.total.serial.cycle_lookups,
+            5 * site_cycle.total.serial.cycle_lookups);
+  EXPECT_GT(site_cycle.total.serial.cycle_lookups, 0u);
+  EXPECT_LE(site_cycle.total.serial.cycle_lookups, 16u);
+}
+
+// ---- superoptimizer (§5.3) ---------------------------------------------------
+
+TEST(Superopt, InterpreterImplementsTheIsa) {
+  std::int64_t regs[kSopRegs] = {5, 9};
+  sop_execute({SopInstr{SopOp::Add, 0, {false, 0}, {false, 1}}}, regs);
+  EXPECT_EQ(regs[0], 14);
+  sop_execute({SopInstr{SopOp::Shl, 1, {false, 1}, {true, 1}}}, regs);
+  EXPECT_EQ(regs[1], 18);
+  sop_execute({SopInstr{SopOp::Xor, 0, {false, 0}, {false, 0}}}, regs);
+  EXPECT_EQ(regs[0], 0);
+  sop_execute({SopInstr{SopOp::Mov, 0, {true, 7}, {true, 0}}}, regs);
+  EXPECT_EQ(regs[0], 7);
+}
+
+TEST(Superopt, FindsKnownEquivalences) {
+  // Target r0 = r0 + r0.  Length-1 equivalents over the candidate space
+  // must include at least ADD r0,r0,r0 and SHL r0,r0,1.
+  SuperoptConfig cfg;
+  cfg.max_len = 1;
+  const RunResult r = run_superopt(OptLevel::SiteReuseCycle, cfg);
+  EXPECT_GE(r.check, 2.0);
+  // Candidates plus the tester's name-service bind (runtime bootstrap).
+  EXPECT_GE(r.total.remote_rpcs, sop_candidates_per_length());
+  EXPECT_LE(r.total.remote_rpcs, sop_candidates_per_length() + 8);
+}
+
+TEST(Superopt, ResultIndependentOfOptLevel) {
+  SuperoptConfig cfg;
+  cfg.max_len = 1;
+  const double expected = run_superopt(OptLevel::Class, cfg).check;
+  for (OptLevel level : {OptLevel::Site, OptLevel::SiteReuseCycle}) {
+    EXPECT_EQ(run_superopt(level, cfg).check, expected)
+        << codegen::to_string(level);
+  }
+}
+
+TEST(Superopt, Table5And6Shape) {
+  // Length-2 search: candidate graphs average ~10 objects, as in the
+  // paper, which is what makes cycle elision this app's dominant win.
+  SuperoptConfig cfg;
+  cfg.max_len = 2;
+  const RunResult klass = run_superopt(OptLevel::Class, cfg);
+  const RunResult site = run_superopt(OptLevel::Site, cfg);
+  const RunResult site_cycle = run_superopt(OptLevel::SiteCycle, cfg);
+  const RunResult site_reuse = run_superopt(OptLevel::SiteReuse, cfg);
+  const RunResult all = run_superopt(OptLevel::SiteReuseCycle, cfg);
+
+  // Table 5: cycle elision is the biggest win for this app; reuse adds
+  // nothing (queued arguments escape).
+  EXPECT_LT(site.makespan, klass.makespan);
+  EXPECT_LT(site_cycle.makespan, site.makespan);
+  const auto gain_cycle =
+      site.makespan.as_nanos() - site_cycle.makespan.as_nanos();
+  const auto gain_site = klass.makespan.as_nanos() - site.makespan.as_nanos();
+  EXPECT_GT(gain_cycle, gain_site);  // "12.7% due to cycle detection" vs 6.7%
+  // Table 6: no reuse ever happens; cycle lookups collapse with elision.
+  EXPECT_EQ(site_reuse.total.serial.objects_reused, 0u);
+  EXPECT_EQ(all.total.serial.objects_reused, 0u);
+  EXPECT_GT(klass.total.serial.cycle_lookups,
+            100 * all.total.serial.cycle_lookups);
+  // Residual bootstrap lookups, like the paper's Table 6 value of 17.
+  EXPECT_LE(all.total.serial.cycle_lookups, 16u);
+}
+
+TEST(Superopt, ScalesToLengthTwoAndMoreTesters) {
+  SuperoptConfig cfg;
+  cfg.max_len = 2;
+  cfg.machines = 3;
+  const RunResult r = run_superopt(OptLevel::SiteReuseCycle, cfg);
+  const auto per_len = sop_candidates_per_length();
+  EXPECT_GE(r.total.remote_rpcs, per_len + per_len * per_len);
+  EXPECT_LE(r.total.remote_rpcs, per_len + per_len * per_len + 8);
+  EXPECT_GE(r.check, 2.0);
+}
+
+// ---- webserver (§5.4) ----------------------------------------------------------
+
+TEST(Webserver, ServesEveryRequestAtEveryLevel) {
+  WebserverConfig cfg;
+  cfg.requests = 100;
+  cfg.pages = 16;
+  cfg.page_size = 512;
+  for (OptLevel level : codegen::kPaperLevels) {
+    const RunResult r = run_webserver(level, cfg);
+    EXPECT_EQ(r.check, 100.0 * 512.0) << codegen::to_string(level);
+  }
+}
+
+TEST(Webserver, Table7Shape) {
+  WebserverConfig cfg;
+  cfg.requests = 200;
+  const auto t_class = run_webserver(OptLevel::Class, cfg).makespan;
+  const auto t_site = run_webserver(OptLevel::Site, cfg).makespan;
+  const auto t_site_cycle = run_webserver(OptLevel::SiteCycle, cfg).makespan;
+  const auto t_all = run_webserver(OptLevel::SiteReuseCycle, cfg).makespan;
+  // Table 7: every step helps; cycle elision is large (the page bodies are
+  // big serialized graphs); all-on is fastest.
+  EXPECT_LT(t_site, t_class);
+  EXPECT_LT(t_site_cycle, t_site);
+  EXPECT_LT(t_all, t_site_cycle);
+}
+
+TEST(Webserver, Table8ReuseEliminatesSteadyStateAllocations) {
+  WebserverConfig cfg;
+  cfg.requests = 200;
+  cfg.pages = 16;
+  const RunResult site = run_webserver(OptLevel::Site, cfg);
+  const RunResult reuse = run_webserver(OptLevel::SiteReuse, cfg);
+  // Table 8: "With object reuse enabled no new objects are created after
+  // the first webpage has been retrieved."  First call allocates the url
+  // and the page; every later call reuses both.  The constant 3 is the
+  // name-service bootstrap (bind string, lookup string, RefBox reply).
+  EXPECT_EQ(reuse.total.serial.objects_allocated, 2u + 3u);
+  EXPECT_EQ(reuse.total.serial.objects_reused, 2u * (cfg.requests - 1));
+  EXPECT_EQ(site.total.serial.objects_allocated, 2u * cfg.requests + 3u);
+}
+
+TEST(Webserver, MultipleSlavesShareTheLoad) {
+  WebserverConfig cfg;
+  cfg.machines = 3;
+  cfg.requests = 300;
+  const RunResult r = run_webserver(OptLevel::SiteReuseCycle, cfg);
+  EXPECT_EQ(r.check, 300.0 * cfg.page_size);
+  // Both slaves must have answered something (hash routing spreads URLs).
+  EXPECT_GT(r.per_machine[1].serial.objects_reused +
+                r.per_machine[1].serial.objects_allocated,
+            0u);
+  EXPECT_GT(r.per_machine[2].serial.objects_reused +
+                r.per_machine[2].serial.objects_allocated,
+            0u);
+}
+
+}  // namespace
+}  // namespace rmiopt::apps

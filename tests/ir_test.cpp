@@ -1,0 +1,212 @@
+// Unit tests for the mini-language IR: builder, verifier (including
+// negative cases), and printer.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace rmiopt::ir {
+namespace {
+
+class IrTest : public ::testing::Test {
+ protected:
+  IrTest() : module(types) {
+    data = types.define_class("Data", {{"x", om::TypeKind::Int},
+                                       {"next", om::TypeKind::Ref, 0}});
+    // patch the self reference
+    darr = types.register_prim_array(om::TypeKind::Double);
+  }
+  om::TypeRegistry types;
+  Module module{types};
+  om::ClassId data = om::kNoClass;
+  om::ClassId darr = om::kNoClass;
+};
+
+TEST_F(IrTest, BuilderAssignsSsaIdsInOrder) {
+  Function& f = module.add_function("f", {Type::ref(data)},
+                                    Type::void_type());
+  FunctionBuilder b(module, f);
+  EXPECT_EQ(b.param(0), 0u);
+  const auto v1 = b.alloc(data);
+  const auto v2 = b.const_int(7);
+  const auto v3 = b.move(v1);
+  EXPECT_EQ(v1, 1u);
+  EXPECT_EQ(v2, 2u);
+  EXPECT_EQ(v3, 3u);
+  b.ret();
+  EXPECT_EQ(f.value_count, 4u);
+  verify(module);
+}
+
+TEST_F(IrTest, AllocSitesAreUniqueModuleWide) {
+  Function& f = module.add_function("f", {}, Type::void_type());
+  Function& g = module.add_function("g", {}, Type::void_type());
+  FunctionBuilder bf(module, f);
+  bf.alloc(data);
+  bf.ret();
+  FunctionBuilder bg(module, g);
+  bg.alloc(data);
+  bg.alloc_array(darr);
+  bg.ret();
+
+  std::set<AllocSiteId> sites;
+  for (std::size_t i = 0; i < module.function_count(); ++i) {
+    for (const auto& block : module.function(static_cast<FuncId>(i)).blocks) {
+      for (const auto& in : block.instrs) {
+        if (in.op == Op::Alloc || in.op == Op::AllocArray) {
+          EXPECT_TRUE(sites.insert(in.alloc_site).second);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(sites.size(), 3u);
+}
+
+TEST_F(IrTest, FieldAccessResolvesByName) {
+  Function& f = module.add_function("f", {Type::ref(data)},
+                                    Type::void_type());
+  FunctionBuilder b(module, f);
+  const auto x = b.load_field(b.param(0), "x");
+  EXPECT_EQ(f.value_type(x).kind, om::TypeKind::Int);
+  EXPECT_THROW(b.load_field(b.param(0), "nope"), Error);
+  b.ret();
+}
+
+TEST_F(IrTest, RemoteCallRequiresRemoteMethod) {
+  Function& plain = module.add_function("plain", {}, Type::void_type());
+  {
+    FunctionBuilder b(module, plain);
+    b.ret();
+  }
+  Function& f = module.add_function("f", {}, Type::void_type());
+  FunctionBuilder b(module, f);
+  EXPECT_THROW(b.remote_call(plain.id, {}, 1), Error);
+  b.call(plain.id, {});  // local call is fine
+  b.ret();
+}
+
+TEST_F(IrTest, ArityMismatchThrows) {
+  Function& callee = module.add_function(
+      "callee", {Type::ref(data)}, Type::void_type(), true);
+  {
+    FunctionBuilder b(module, callee);
+    b.ret();
+  }
+  Function& f = module.add_function("f", {}, Type::void_type());
+  FunctionBuilder b(module, f);
+  EXPECT_THROW(b.remote_call(callee.id, {}, 1), Error);
+}
+
+TEST_F(IrTest, VerifierRejectsUseBeforeDef) {
+  Function& f = module.add_function("f", {}, Type::void_type());
+  FunctionBuilder b(module, f);
+  b.ret();
+  // Hand-craft a bad instruction: move of an undefined value.
+  Instr bad;
+  bad.op = Op::Move;
+  bad.operands = {5};
+  bad.result = 0;
+  f.value_count = 1;
+  f.value_types = {Type::prim(om::TypeKind::Int)};
+  f.blocks.back().instrs.insert(f.blocks.back().instrs.begin(), bad);
+  EXPECT_THROW(verify(module), Error);
+}
+
+TEST_F(IrTest, VerifierRejectsDuplicateCallsiteTags) {
+  Function& callee =
+      module.add_function("callee", {}, Type::void_type(), true);
+  {
+    FunctionBuilder b(module, callee);
+    b.ret();
+  }
+  Function& f = module.add_function("f", {}, Type::void_type());
+  FunctionBuilder b(module, f);
+  b.remote_call(callee.id, {}, 9);
+  b.remote_call(callee.id, {}, 9);  // same tag twice
+  b.ret();
+  EXPECT_THROW(verify(module), Error);
+}
+
+TEST_F(IrTest, VerifierRejectsVoidReturnWithValue) {
+  Function& f = module.add_function("f", {}, Type::void_type());
+  FunctionBuilder b(module, f);
+  const auto v = b.const_int(1);
+  Instr bad;
+  bad.op = Op::Return;
+  bad.operands = {v};
+  f.blocks.back().instrs.push_back(bad);
+  EXPECT_THROW(verify(module), Error);
+}
+
+TEST_F(IrTest, VerifierAcceptsPhiBackEdges) {
+  Function& f = module.add_function("f", {}, Type::void_type());
+  FunctionBuilder b(module, f);
+  const auto ph = b.empty_phi(Type::ref(data));
+  const auto v = b.alloc(data);
+  b.append_phi_input(ph, v);  // back edge: defined after the phi
+  b.ret();
+  EXPECT_NO_THROW(verify(module));
+}
+
+TEST_F(IrTest, PrinterShowsTheProgramShape) {
+  Function& callee = module.add_function(
+      "Remote.m", {Type::ref(data)}, Type::ref(data), true);
+  {
+    FunctionBuilder b(module, callee);
+    b.ret(b.param(0));
+  }
+  const GlobalId g = module.add_global("G", Type::ref(data));
+  Function& f = module.add_function("main", {}, Type::void_type());
+  {
+    FunctionBuilder b(module, f);
+    const auto d = b.alloc(data);
+    b.store_field(d, "x", b.const_int(42));
+    b.store_static(g, d);
+    b.remote_call(callee.id, {d}, 3);
+    b.ret();
+  }
+  const std::string text = to_string(module);
+  EXPECT_NE(text.find("remote Data Remote.m"), std::string::npos);
+  EXPECT_NE(text.find("new Data"), std::string::npos);
+  EXPECT_NE(text.find("; site"), std::string::npos);
+  EXPECT_NE(text.find("remote-call Remote.m"), std::string::npos);
+  EXPECT_NE(text.find("; tag 3"), std::string::npos);
+  EXPECT_NE(text.find("static Data G"), std::string::npos);
+}
+
+TEST_F(IrTest, RemoteCallSitesEnumeratesAll) {
+  Function& callee =
+      module.add_function("callee", {}, Type::void_type(), true);
+  {
+    FunctionBuilder b(module, callee);
+    b.ret();
+  }
+  Function& f = module.add_function("f", {}, Type::void_type());
+  {
+    FunctionBuilder b(module, f);
+    b.remote_call(callee.id, {}, 1);
+    b.set_block("second");
+    b.remote_call(callee.id, {}, 2);
+    b.ret();
+  }
+  const auto sites = module.remote_call_sites();
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0].instr->callsite_tag, 1u);
+  EXPECT_EQ(sites[1].instr->callsite_tag, 2u);
+  EXPECT_EQ(sites[1].caller, f.id);
+}
+
+TEST_F(IrTest, FunctionReferencesSurviveModuleGrowth) {
+  // Regression: Function& from add_function must stay valid as more
+  // functions are added (they are heap-allocated).
+  Function& first = module.add_function("first", {}, Type::void_type());
+  for (int i = 0; i < 100; ++i) {
+    module.add_function("f" + std::to_string(i), {}, Type::void_type());
+  }
+  EXPECT_EQ(first.name, "first");
+  FunctionBuilder b(module, first);
+  b.ret();
+  EXPECT_EQ(module.function(first.id).blocks.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rmiopt::ir

@@ -1,0 +1,113 @@
+// Integration tests for the two microbenchmarks: correctness of delivery
+// plus the qualitative shape of Tables 1 and 2.
+#include <gtest/gtest.h>
+
+#include "apps/microbench.hpp"
+
+namespace rmiopt::apps {
+namespace {
+
+using codegen::OptLevel;
+
+TEST(ListBench, DeliversEveryIteration) {
+  ListBenchConfig cfg;
+  cfg.iterations = 20;
+  const RunResult r = run_list_bench(OptLevel::Class, cfg);
+  EXPECT_EQ(r.check, 20.0);
+  EXPECT_EQ(r.total.remote_rpcs, 20u);
+}
+
+TEST(ListBench, Table1Shape) {
+  ListBenchConfig cfg;
+  cfg.iterations = 50;
+  const auto t_class = run_list_bench(OptLevel::Class, cfg).makespan;
+  const auto t_site = run_list_bench(OptLevel::Site, cfg).makespan;
+  const auto t_site_cycle = run_list_bench(OptLevel::SiteCycle, cfg).makespan;
+  const auto t_site_reuse = run_list_bench(OptLevel::SiteReuse, cfg).makespan;
+  const auto t_all = run_list_bench(OptLevel::SiteReuseCycle, cfg).makespan;
+
+  // Table 1: site beats class; cycle elision does NOT fire (the list is
+  // misclassified as cyclic, §7), so site+cycle == site; reuse is the big
+  // win; site+reuse+cycle == site+reuse.
+  EXPECT_LT(t_site, t_class);
+  EXPECT_EQ(t_site_cycle.as_nanos(), t_site.as_nanos());
+  EXPECT_LT(t_site_reuse, t_site);
+  EXPECT_EQ(t_all.as_nanos(), t_site_reuse.as_nanos());
+}
+
+TEST(ListBench, ReuseEliminatesSteadyStateAllocations) {
+  ListBenchConfig cfg;
+  cfg.list_length = 100;
+  cfg.iterations = 50;
+  const RunResult no_reuse = run_list_bench(OptLevel::Site, cfg);
+  const RunResult reuse = run_list_bench(OptLevel::SiteReuse, cfg);
+  // Without reuse: 100 allocations per RMI.  With reuse: 100 on the first
+  // call only ("per RMI there are 100 object allocations saved", §5.1).
+  EXPECT_EQ(no_reuse.total.serial.objects_allocated, 100u * 50u);
+  EXPECT_EQ(reuse.total.serial.objects_allocated, 100u);
+  EXPECT_EQ(reuse.total.serial.objects_reused, 100u * 49u);
+}
+
+TEST(ArrayBench, DeliversMutatedValues) {
+  ArrayBenchConfig cfg;
+  cfg.iterations = 10;
+  const RunResult r = run_array_bench(OptLevel::SiteReuseCycle, cfg);
+  EXPECT_EQ(r.check, 45.0);  // sum 0..9
+}
+
+TEST(ArrayBench, Table2Shape) {
+  ArrayBenchConfig cfg;
+  cfg.iterations = 50;
+  const auto t_class = run_array_bench(OptLevel::Class, cfg).makespan;
+  const auto t_site = run_array_bench(OptLevel::Site, cfg).makespan;
+  const auto t_site_cycle =
+      run_array_bench(OptLevel::SiteCycle, cfg).makespan;
+  const auto t_site_reuse =
+      run_array_bench(OptLevel::SiteReuse, cfg).makespan;
+  const auto t_all = run_array_bench(OptLevel::SiteReuseCycle, cfg).makespan;
+
+  // Table 2: every optimization helps; the full stack wins.
+  EXPECT_LT(t_site, t_class);
+  EXPECT_LT(t_site_cycle, t_site);
+  EXPECT_LT(t_site_reuse, t_site);
+  EXPECT_LT(t_all, t_site_reuse);
+  EXPECT_LT(t_all, t_site_cycle);
+}
+
+TEST(ArrayBench, SiteModeSendsNoTypeInfo) {
+  ArrayBenchConfig cfg;
+  cfg.iterations = 10;
+  const RunResult klass = run_array_bench(OptLevel::Class, cfg);
+  const RunResult site = run_array_bench(OptLevel::Site, cfg);
+  EXPECT_GT(klass.total.serial.type_info_bytes, 0u);
+  EXPECT_EQ(site.total.serial.type_info_bytes, 0u);
+  EXPECT_LT(site.bytes, klass.bytes);
+}
+
+TEST(ArrayBench, CycleElisionRemovesAllLookups) {
+  ArrayBenchConfig cfg;
+  cfg.iterations = 10;
+  const RunResult site = run_array_bench(OptLevel::Site, cfg);
+  const RunResult cyc = run_array_bench(OptLevel::SiteCycle, cfg);
+  EXPECT_GT(site.total.serial.cycle_lookups, 0u);
+  EXPECT_EQ(cyc.total.serial.cycle_lookups, 0u);
+}
+
+TEST(Microbench, HeavyIsSlowerThanClass) {
+  ArrayBenchConfig cfg;
+  cfg.iterations = 20;
+  const auto t_heavy = run_array_bench(OptLevel::Heavy, cfg).makespan;
+  const auto t_class = run_array_bench(OptLevel::Class, cfg).makespan;
+  EXPECT_GT(t_heavy, t_class);
+}
+
+TEST(Microbench, DeterministicVirtualTime) {
+  ListBenchConfig cfg;
+  cfg.iterations = 25;
+  const auto a = run_list_bench(OptLevel::SiteReuse, cfg).makespan;
+  const auto b = run_list_bench(OptLevel::SiteReuse, cfg).makespan;
+  EXPECT_EQ(a.as_nanos(), b.as_nanos());
+}
+
+}  // namespace
+}  // namespace rmiopt::apps

@@ -1,0 +1,254 @@
+// Unit tests for the simulated cluster: virtual clocks, GM-style message
+// cost accounting, inbox semantics, and the network model's arithmetic.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/cluster.hpp"
+#include "serial/stats.hpp"
+
+namespace rmiopt::net {
+namespace {
+
+serial::CostModel test_cost() {
+  serial::CostModel c;
+  c.send_overhead_ns = 1000;
+  c.msg_latency_ns = 10'000;
+  c.wire_byte_ns = 2.0;
+  c.recv_poll_ns = 500;
+  c.poll_wakeup_ns = 20'000;
+  return c;
+}
+
+wire::Message make_msg(std::uint16_t from, std::uint16_t to,
+                       std::size_t payload_bytes = 0) {
+  wire::Message m;
+  m.header.kind = wire::MsgKind::Call;
+  m.header.source_machine = from;
+  m.header.dest_machine = to;
+  for (std::size_t i = 0; i < payload_bytes; ++i) m.payload.put_u8(0);
+  return m;
+}
+
+TEST(VirtualClock, AdvanceAccumulatesAndMergeTakesMax) {
+  VirtualClock c;
+  c.advance(SimTime::micros(5));
+  EXPECT_EQ(c.now().as_micros(), 5.0);
+  EXPECT_FALSE(c.merge_at_least(SimTime::micros(3)));  // already past
+  EXPECT_TRUE(c.merge_at_least(SimTime::micros(9)));
+  EXPECT_EQ(c.now().as_micros(), 9.0);
+  c.reset();
+  EXPECT_EQ(c.now().as_nanos(), 0);
+}
+
+TEST(VirtualClock, ConcurrentAdvancesSumExactly) {
+  VirtualClock c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10'000; ++i) c.advance(SimTime::nanos(3));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.now().as_nanos(), 4 * 10'000 * 3);
+}
+
+TEST(Cluster, SendChargesSenderAndSchedulesArrival) {
+  om::TypeRegistry types;
+  Cluster cluster(2, types, test_cost());
+  Machine& m0 = cluster.machine(0);
+  Machine& m1 = cluster.machine(1);
+
+  wire::Message msg = make_msg(0, 1, 100);
+  const std::size_t wire_bytes = msg.wire_size();
+  cluster.send(std::move(msg));
+
+  // Sender paid only the send overhead.
+  EXPECT_EQ(m0.clock().now().as_nanos(), 1000);
+  // Receiver was idle: merges to arrival = send_overhead + latency +
+  // bytes * wire_byte_ns, plus the (cheap, polled) receive cost.
+  const auto env = m1.receive_blocking();
+  ASSERT_TRUE(env.has_value());
+  const std::int64_t expected_arrival =
+      1000 + 10'000 + static_cast<std::int64_t>(2.0 * wire_bytes);
+  EXPECT_EQ(env->arrival.as_nanos(), expected_arrival);
+  EXPECT_EQ(m1.clock().now().as_nanos(), expected_arrival + 500);
+}
+
+TEST(Cluster, PendingMessagePastThresholdPaysKernelWakeup) {
+  om::TypeRegistry types;
+  Cluster cluster(2, types, test_cost());
+  Machine& m1 = cluster.machine(1);
+
+  cluster.send(make_msg(0, 1));
+  // The receiver was busy far past the 20 µs GM threshold.
+  m1.clock().advance(SimTime::millis(1));
+  const auto before = m1.clock().now();
+  (void)m1.receive_blocking();
+  EXPECT_EQ((m1.clock().now() - before).as_nanos(), 20'000);
+}
+
+TEST(Cluster, RecentlyPendingMessageIsJustPolled) {
+  om::TypeRegistry types;
+  Cluster cluster(2, types, test_cost());
+  Machine& m1 = cluster.machine(1);
+
+  cluster.send(make_msg(0, 1));
+  // Busy, but for less than the threshold beyond the arrival time.
+  m1.clock().advance(SimTime::micros(25));
+  const auto before = m1.clock().now();
+  (void)m1.receive_blocking();
+  EXPECT_EQ((m1.clock().now() - before).as_nanos(), 500);
+}
+
+TEST(Cluster, LargeMessagesPayPerFragmentOverhead) {
+  om::TypeRegistry types;
+  serial::CostModel cost = test_cost();
+  cost.fragment_bytes = 1024;
+  cost.fragment_overhead_ns = 700;
+  Cluster cluster(2, types, cost);
+
+  cluster.send(make_msg(0, 1, 100));     // 1 fragment
+  cluster.send(make_msg(0, 1, 5000));    // spans ~5 fragments
+  const auto small = cluster.machine(1).receive_blocking();
+  const auto large = cluster.machine(1).receive_blocking();
+  const auto small_net =
+      small->arrival.as_nanos() - 1000;  // minus sender overhead charge
+  const auto large_net = large->arrival.as_nanos() - 2000;
+  // Beyond the linear byte cost, the large message pays fragment overheads.
+  const std::size_t small_bytes = 100 + sizeof(wire::MessageHeader);
+  const std::size_t large_bytes = 5000 + sizeof(wire::MessageHeader);
+  const auto expected_delta =
+      static_cast<std::int64_t>(2.0 * (large_bytes - small_bytes)) +
+      static_cast<std::int64_t>(large_bytes / 1024) * 700;
+  EXPECT_EQ(large_net - small_net, expected_delta);
+}
+
+TEST(Cluster, BacklogDrainingPollsInsteadOfWaking) {
+  // A dispatcher draining messages back-to-back is polling: only the
+  // first pickup after a long network-idle period pays the kernel wakeup.
+  om::TypeRegistry types;
+  Cluster cluster(2, types, test_cost());
+  Machine& m1 = cluster.machine(1);
+  for (int i = 0; i < 4; ++i) cluster.send(make_msg(0, 1));
+  m1.clock().advance(SimTime::millis(1));  // busy way past the threshold
+
+  auto before = m1.clock().now();
+  (void)m1.receive_blocking();
+  EXPECT_EQ((m1.clock().now() - before).as_nanos(), 20'000);  // wakeup once
+  for (int i = 0; i < 3; ++i) {
+    before = m1.clock().now();
+    (void)m1.receive_blocking();
+    EXPECT_EQ((m1.clock().now() - before).as_nanos(), 500);  // then polls
+  }
+}
+
+TEST(Cluster, MessagesArriveInOrderPerSender) {
+  om::TypeRegistry types;
+  Cluster cluster(2, types, test_cost());
+  Machine& m1 = cluster.machine(1);
+  for (int i = 0; i < 5; ++i) {
+    wire::Message m = make_msg(0, 1);
+    m.header.seq = static_cast<std::uint32_t>(i);
+    cluster.send(std::move(m));
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(m1.receive_blocking()->msg.header.seq,
+              static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST(Cluster, ReceiveBlocksUntilDelivery) {
+  om::TypeRegistry types;
+  Cluster cluster(2, types, test_cost());
+  Machine& m1 = cluster.machine(1);
+
+  std::atomic<bool> received{false};
+  std::thread receiver([&] {
+    const auto env = m1.receive_blocking();
+    received = env.has_value();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(received.load());
+  cluster.send(make_msg(0, 1));
+  receiver.join();
+  EXPECT_TRUE(received.load());
+}
+
+TEST(Cluster, CloseDrainsThenReturnsNullopt) {
+  om::TypeRegistry types;
+  Cluster cluster(2, types, test_cost());
+  Machine& m1 = cluster.machine(1);
+  cluster.send(make_msg(0, 1));
+  cluster.shutdown();
+  EXPECT_TRUE(m1.receive_blocking().has_value());   // drains the queue
+  EXPECT_FALSE(m1.receive_blocking().has_value());  // then reports closed
+}
+
+TEST(Cluster, LoopbackSendIsRejected) {
+  om::TypeRegistry types;
+  Cluster cluster(2, types, test_cost());
+  EXPECT_THROW(cluster.send(make_msg(1, 1)), Error);
+  EXPECT_THROW(cluster.send(make_msg(0, 7)), Error);
+}
+
+TEST(Cluster, NetworkStatsCountTraffic) {
+  om::TypeRegistry types;
+  Cluster cluster(3, types, test_cost());
+  cluster.send(make_msg(0, 1, 10));
+  cluster.send(make_msg(1, 2, 20));
+  EXPECT_EQ(cluster.stats().messages.load(), 2u);
+  EXPECT_EQ(cluster.stats().bytes.load(),
+            2 * sizeof(wire::MessageHeader) + 30);
+}
+
+TEST(Cluster, MakespanIsTheMaxClock) {
+  om::TypeRegistry types;
+  Cluster cluster(3, types, test_cost());
+  cluster.machine(0).clock().advance(SimTime::micros(5));
+  cluster.machine(2).clock().advance(SimTime::micros(11));
+  EXPECT_EQ(cluster.makespan().as_micros(), 11.0);
+}
+
+TEST(CostModel, ByteCostsScaleLinearly) {
+  serial::CostModel c;
+  EXPECT_EQ(c.for_wire_bytes(0).as_nanos(), 0);
+  EXPECT_EQ(c.for_wire_bytes(1000).as_nanos(),
+            static_cast<std::int64_t>(1000 * c.wire_byte_ns));
+  EXPECT_EQ(c.for_bytes_copied(800).as_nanos(),
+            static_cast<std::int64_t>(800 * c.byte_copy_ns));
+}
+
+TEST(CostModel, CpuCostSumsAllEventClasses) {
+  serial::CostModel c;
+  serial::SerialStats s;
+  s.serializer_invocations = 2;
+  s.fields_marshaled = 10;
+  s.cycle_lookups = 3;
+  s.cycle_tables_created = 1;
+  s.type_decodes = 2;
+  s.objects_allocated = 4;
+  s.objects_freed = 5;
+  s.bytes_copied = 100;
+  const std::int64_t expected =
+      2 * c.serializer_invoke_ns + 10 * c.field_marshal_ns +
+      3 * c.cycle_probe_ns + 1 * c.cycle_table_setup_ns +
+      2 * c.type_decode_ns + 4 * (c.alloc_ns + c.gc_amortized_ns) +
+      5 * c.free_ns + static_cast<std::int64_t>(100 * c.byte_copy_ns);
+  EXPECT_EQ(s.cpu_cost(c).as_nanos(), expected);
+}
+
+TEST(SerialStats, AccumulationIsComponentwise) {
+  serial::SerialStats a, b;
+  a.cycle_lookups = 3;
+  a.objects_reused = 1;
+  b.cycle_lookups = 4;
+  b.type_info_bytes = 9;
+  a += b;
+  EXPECT_EQ(a.cycle_lookups, 7u);
+  EXPECT_EQ(a.objects_reused, 1u);
+  EXPECT_EQ(a.type_info_bytes, 9u);
+}
+
+}  // namespace
+}  // namespace rmiopt::net

@@ -1,0 +1,260 @@
+// Unit tests for the runtime object model: type registry, heap, object
+// graph utilities (deep_equals / deep_clone / free_graph).
+#include <gtest/gtest.h>
+
+#include "objmodel/heap.hpp"
+
+namespace rmiopt::om {
+namespace {
+
+class ObjModelTest : public ::testing::Test {
+ protected:
+  TypeRegistry types;
+  Heap heap{types};
+};
+
+TEST_F(ObjModelTest, DefineClassAssignsOffsets) {
+  const ClassId id = types.define_class(
+      "Point", {{"x", TypeKind::Double}, {"y", TypeKind::Double},
+                {"tag", TypeKind::Int}});
+  const ClassDescriptor& c = types.get(id);
+  EXPECT_EQ(c.fields.size(), 3u);
+  EXPECT_EQ(c.fields[0].offset, 0u);
+  EXPECT_EQ(c.fields[1].offset, 8u);
+  EXPECT_EQ(c.fields[2].offset, 16u);
+  EXPECT_EQ(c.instance_size % 8, 0u);
+  EXPECT_FALSE(c.has_ref_fields());
+}
+
+TEST_F(ObjModelTest, FieldAlignmentIsRespected) {
+  const ClassId id = types.define_class(
+      "Mixed", {{"b", TypeKind::Byte}, {"d", TypeKind::Double},
+                {"s", TypeKind::Short}});
+  const ClassDescriptor& c = types.get(id);
+  EXPECT_EQ(c.fields[0].offset, 0u);
+  EXPECT_EQ(c.fields[1].offset, 8u);  // double aligned to 8
+  EXPECT_EQ(c.fields[2].offset, 16u);
+}
+
+TEST_F(ObjModelTest, InheritanceFlattensFields) {
+  const ClassId base = types.define_class("Base", {{"data", TypeKind::Int}});
+  const ClassId derived =
+      types.define_class("Derived", {{"extra", TypeKind::Long}}, base);
+  const ClassDescriptor& d = types.get(derived);
+  ASSERT_EQ(d.fields.size(), 2u);
+  EXPECT_EQ(d.fields[0].name, "data");
+  EXPECT_EQ(d.fields[1].name, "extra");
+  EXPECT_TRUE(types.is_subclass_of(derived, base));
+  EXPECT_FALSE(types.is_subclass_of(base, derived));
+}
+
+TEST_F(ObjModelTest, DuplicateClassNameThrows) {
+  types.define_class("X", {});
+  EXPECT_THROW(types.define_class("X", {}), Error);
+}
+
+TEST_F(ObjModelTest, ArrayClassesAreInterned) {
+  const ClassId a = types.register_prim_array(TypeKind::Double);
+  const ClassId b = types.register_prim_array(TypeKind::Double);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(types.get(a).name, "[double");
+
+  const ClassId inner = types.register_prim_array(TypeKind::Double);
+  const ClassId outer = types.register_ref_array(inner);
+  EXPECT_EQ(types.get(outer).name, "[L[double;");
+  EXPECT_EQ(types.get(outer).elem_kind, TypeKind::Ref);
+  EXPECT_EQ(types.get(outer).elem_class, inner);
+}
+
+TEST_F(ObjModelTest, ScalarFieldsRoundTrip) {
+  const ClassId id = types.define_class(
+      "Point", {{"x", TypeKind::Double}, {"n", TypeKind::Int}});
+  const ClassDescriptor& c = types.get(id);
+  ObjRef p = heap.alloc(c);
+  p->set<double>(c.fields[0], 2.5);
+  p->set<std::int32_t>(c.fields[1], 7);
+  EXPECT_DOUBLE_EQ(p->get<double>(c.fields[0]), 2.5);
+  EXPECT_EQ(p->get<std::int32_t>(c.fields[1]), 7);
+  heap.free(p);
+}
+
+TEST_F(ObjModelTest, NewObjectsAreZeroed) {
+  const ClassId id = types.define_class(
+      "Z", {{"x", TypeKind::Double}, {"r", TypeKind::Ref}});
+  ObjRef o = heap.alloc(id);
+  EXPECT_DOUBLE_EQ(o->get<double>(o->cls().fields[0]), 0.0);
+  EXPECT_EQ(o->get_ref(o->cls().fields[1]), nullptr);
+  heap.free(o);
+}
+
+TEST_F(ObjModelTest, RefFieldsLinkObjects) {
+  const ClassId node =
+      types.define_class("Node", {{"val", TypeKind::Int}, {"next", TypeKind::Ref}});
+  const ClassDescriptor& c = types.get(node);
+  ObjRef a = heap.alloc(c);
+  ObjRef b = heap.alloc(c);
+  a->set_ref(c.fields[1], b);
+  EXPECT_EQ(a->get_ref(c.fields[1]), b);
+  heap.free(a);
+  heap.free(b);
+}
+
+TEST_F(ObjModelTest, PrimArraysRoundTrip) {
+  const ClassId arr = types.register_prim_array(TypeKind::Double);
+  ObjRef a = heap.alloc_array(arr, 16);
+  EXPECT_EQ(a->length(), 16u);
+  auto e = a->elems<double>();
+  for (std::size_t i = 0; i < e.size(); ++i) e[i] = static_cast<double>(i);
+  EXPECT_DOUBLE_EQ(a->elems<double>()[15], 15.0);
+  EXPECT_EQ(a->payload_size(), 16 * sizeof(double));
+  heap.free(a);
+}
+
+TEST_F(ObjModelTest, RefArraysRoundTrip) {
+  const ClassId inner = types.register_prim_array(TypeKind::Int);
+  const ClassId outer = types.register_ref_array(inner);
+  ObjRef o = heap.alloc_array(outer, 3);
+  ObjRef row = heap.alloc_array(inner, 2);
+  o->set_elem_ref(1, row);
+  EXPECT_EQ(o->get_elem_ref(0), nullptr);
+  EXPECT_EQ(o->get_elem_ref(1), row);
+  EXPECT_THROW(o->get_elem_ref(3), Error);
+  heap.free(row);
+  heap.free(o);
+}
+
+TEST_F(ObjModelTest, StringsRoundTrip) {
+  ObjRef s = heap.alloc_string("/index.html");
+  EXPECT_TRUE(s->cls().is_string);
+  EXPECT_EQ(s->as_string_view(), "/index.html");
+  heap.free(s);
+}
+
+TEST_F(ObjModelTest, HeapStatsTrackAllocationVolume) {
+  const ClassId id = types.define_class("P", {{"x", TypeKind::Double}});
+  const auto before = heap.stats().bytes_allocated.load();
+  ObjRef o = heap.alloc(id);
+  EXPECT_EQ(heap.stats().objects_allocated.load(), 1u);
+  EXPECT_GT(heap.stats().bytes_allocated.load(), before);
+  heap.free(o);
+  EXPECT_EQ(heap.stats().live_objects(), 0u);
+  EXPECT_EQ(heap.stats().bytes_freed.load(),
+            heap.stats().bytes_allocated.load());
+}
+
+// ---- graph utilities ------------------------------------------------------
+
+class GraphTest : public ObjModelTest {
+ protected:
+  void SetUp() override {
+    node_id = types.define_class(
+        "Node", {{"val", TypeKind::Int}, {"next", TypeKind::Ref}});
+  }
+
+  ObjRef make_list(int n, bool cyclic = false) {
+    const ClassDescriptor& c = types.get(node_id);
+    ObjRef head = nullptr;
+    ObjRef tail = nullptr;
+    for (int i = n - 1; i >= 0; --i) {
+      ObjRef node = heap.alloc(c);
+      node->set<std::int32_t>(c.fields[0], i);
+      node->set_ref(c.fields[1], head);
+      head = node;
+      if (tail == nullptr) tail = node;
+    }
+    if (cyclic && tail != nullptr) tail->set_ref(types.get(node_id).fields[1], head);
+    return head;
+  }
+
+  ClassId node_id = kNoClass;
+};
+
+TEST_F(GraphTest, DeepEqualsOnEqualLists) {
+  ObjRef a = make_list(10);
+  ObjRef b = make_list(10);
+  EXPECT_TRUE(deep_equals(a, b));
+  heap.free_graph(a);
+  heap.free_graph(b);
+}
+
+TEST_F(GraphTest, DeepEqualsDetectsValueDifference) {
+  ObjRef a = make_list(5);
+  ObjRef b = make_list(5);
+  const ClassDescriptor& c = types.get(node_id);
+  b->get_ref(c.fields[1])->set<std::int32_t>(c.fields[0], 99);
+  EXPECT_FALSE(deep_equals(a, b));
+  heap.free_graph(a);
+  heap.free_graph(b);
+}
+
+TEST_F(GraphTest, DeepEqualsDetectsShapeDifference) {
+  ObjRef a = make_list(5);
+  ObjRef b = make_list(6);
+  EXPECT_FALSE(deep_equals(a, b));
+  heap.free_graph(a);
+  heap.free_graph(b);
+}
+
+TEST_F(GraphTest, DeepEqualsDistinguishesCyclicFromAcyclic) {
+  ObjRef acyclic = make_list(4);
+  ObjRef cyclic = make_list(4, /*cyclic=*/true);
+  EXPECT_FALSE(deep_equals(acyclic, cyclic));
+  EXPECT_TRUE(deep_equals(cyclic, cyclic));
+  heap.free_graph(acyclic);
+  heap.free_graph(cyclic);
+}
+
+TEST_F(GraphTest, DeepCloneCopiesValuesAndShape) {
+  ObjRef a = make_list(8);
+  ObjRef b = deep_clone(heap, a);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(deep_equals(a, b));
+  heap.free_graph(a);
+  heap.free_graph(b);
+}
+
+TEST_F(GraphTest, DeepClonePreservesCycles) {
+  ObjRef a = make_list(4, /*cyclic=*/true);
+  ObjRef b = deep_clone(heap, a);
+  EXPECT_TRUE(deep_equals(a, b));
+  // Walk 4 steps: must arrive back at the clone's head, not the original's.
+  const ClassDescriptor& c = types.get(node_id);
+  ObjRef cur = b;
+  for (int i = 0; i < 4; ++i) cur = cur->get_ref(c.fields[1]);
+  EXPECT_EQ(cur, b);
+  heap.free_graph(a);
+  heap.free_graph(b);
+}
+
+TEST_F(GraphTest, DeepClonePreservesSharing) {
+  // Diamond: root array holds the same node twice.
+  const ClassId arr = types.register_ref_array(node_id);
+  ObjRef shared = make_list(1);
+  ObjRef root = heap.alloc_array(arr, 2);
+  root->set_elem_ref(0, shared);
+  root->set_elem_ref(1, shared);
+
+  ObjRef copy = deep_clone(heap, root);
+  EXPECT_EQ(copy->get_elem_ref(0), copy->get_elem_ref(1));
+  EXPECT_NE(copy->get_elem_ref(0), shared);
+  heap.free_graph(root);
+  heap.free_graph(copy);
+}
+
+TEST_F(GraphTest, FreeGraphReleasesEverythingOnce) {
+  ObjRef a = make_list(100, /*cyclic=*/true);
+  const auto allocated = heap.stats().objects_allocated.load();
+  heap.free_graph(a);
+  EXPECT_EQ(heap.stats().objects_freed.load(), allocated);
+  EXPECT_EQ(heap.stats().live_objects(), 0u);
+}
+
+TEST_F(GraphTest, GraphObjectCountHandlesCycles) {
+  ObjRef a = make_list(7, /*cyclic=*/true);
+  EXPECT_EQ(graph_object_count(a), 7u);
+  EXPECT_EQ(graph_object_count(nullptr), 0u);
+  heap.free_graph(a);
+}
+
+}  // namespace
+}  // namespace rmiopt::om

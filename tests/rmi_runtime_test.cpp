@@ -1,0 +1,437 @@
+// Integration tests for the RMI runtime over the simulated cluster:
+// remote/local invocation, ACK elision, reuse caches, deferred replies,
+// statistics, and virtual-time accounting.
+#include <gtest/gtest.h>
+
+#include "rmi/runtime.hpp"
+
+namespace rmiopt::rmi {
+namespace {
+
+using om::ClassId;
+using om::ObjRef;
+using om::TypeKind;
+
+class RmiTest : public ::testing::Test {
+ protected:
+  RmiTest() : cluster(2, types), sys(cluster, types) {
+    point_id = types.define_class(
+        "Point", {{"x", TypeKind::Double}, {"y", TypeKind::Double}});
+    row_id = types.register_prim_array(TypeKind::Double);
+    mat_id = types.register_ref_array(row_id);
+  }
+
+  ~RmiTest() override { sys.stop(); }
+
+  // A class-mode call site: dynamic roots, cycle table on, no reuse.
+  CompiledCallSite class_site(std::uint32_t method, bool with_ret,
+                              std::vector<ClassId> arg_classes) {
+    CompiledCallSite cs;
+    cs.method_id = method;
+    cs.plan = std::make_unique<serial::CallSitePlan>();
+    cs.plan->name = "test.site";
+    for (ClassId c : arg_classes) {
+      cs.plan->args.push_back(serial::make_dynamic_node(c));
+    }
+    if (with_ret) cs.plan->ret = serial::make_dynamic_node(om::kNoClass);
+    cs.plan->needs_cycle_table = true;
+    return cs;
+  }
+
+  ObjRef make_point(om::Heap& heap, double x, double y) {
+    const om::ClassDescriptor& c = types.get(point_id);
+    ObjRef p = heap.alloc(c);
+    p->set<double>(c.fields[0], x);
+    p->set<double>(c.fields[1], y);
+    return p;
+  }
+
+  om::TypeRegistry types;
+  net::Cluster cluster;
+  RmiSystem sys;
+  ClassId point_id = om::kNoClass;
+  ClassId row_id = om::kNoClass;
+  ClassId mat_id = om::kNoClass;
+};
+
+TEST_F(RmiTest, RemoteCallRoundTripsValue) {
+  // Method: swap the point's coordinates and return a fresh point.
+  const auto mid = sys.define_method(
+      "swap", [&](CallContext& ctx, auto, std::span<const ObjRef> args) {
+        const om::ClassDescriptor& c = types.get(point_id);
+        ObjRef in = args[0];
+        ObjRef out = make_point(ctx.heap(), in->get<double>(c.fields[1]),
+                                in->get<double>(c.fields[0]));
+        return HandlerResult{.value = out, .give_ownership = true};
+      });
+  const auto site = sys.add_callsite(class_site(mid, true, {point_id}));
+  ObjRef target = cluster.machine(1).heap().alloc(point_id);
+  const RemoteRef ref = sys.export_object(1, target);
+  sys.start();
+
+  om::Heap& h0 = cluster.machine(0).heap();
+  ObjRef arg = make_point(h0, 3.0, 4.0);
+  ObjRef result = sys.invoke(0, ref, site, std::array{arg});
+
+  ASSERT_NE(result, nullptr);
+  const om::ClassDescriptor& c = types.get(point_id);
+  EXPECT_DOUBLE_EQ(result->get<double>(c.fields[0]), 4.0);
+  EXPECT_DOUBLE_EQ(result->get<double>(c.fields[1]), 3.0);
+
+  // The callee frees argument graphs *after* replying; join the
+  // dispatchers before reading callee-side counters.
+  sys.stop();
+  const auto s0 = sys.stats(0);
+  const auto s1 = sys.stats(1);
+  EXPECT_EQ(s0.remote_rpcs, 1u);
+  EXPECT_EQ(s0.local_rpcs, 0u);
+  EXPECT_EQ(s1.serial.objects_allocated, 1u);  // the deserialized argument
+  EXPECT_EQ(s1.serial.objects_freed, 2u);      // arg + owned return value
+  h0.free(arg);
+  h0.free(result);
+}
+
+TEST_F(RmiTest, SelfIsTheExportedObject) {
+  ObjRef target = nullptr;
+  const auto mid = sys.define_method(
+      "check", [&](CallContext& ctx, auto, auto) {
+        EXPECT_EQ(ctx.self(), target);
+        return HandlerResult{};
+      });
+  CompiledCallSite cs = class_site(mid, false, {});
+  const auto site = sys.add_callsite(std::move(cs));
+  target = make_point(cluster.machine(1).heap(), 1, 2);
+  const RemoteRef ref = sys.export_object(1, target);
+  sys.start();
+  EXPECT_EQ(sys.invoke(0, ref, site, {}), nullptr);
+}
+
+TEST_F(RmiTest, ScalarsTravelWithoutPlans) {
+  std::int64_t seen = 0;
+  const auto mid = sys.define_method(
+      "scal", [&](CallContext&, std::span<const std::int64_t> s, auto) {
+        seen = s[0] + s[1];
+        return HandlerResult{};
+      });
+  const auto site = sys.add_callsite(class_site(mid, false, {}));
+  const RemoteRef ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(point_id));
+  sys.start();
+  sys.invoke(0, ref, site, {}, std::array<std::int64_t, 2>{40, 2});
+  EXPECT_EQ(seen, 42);
+}
+
+TEST_F(RmiTest, VoidCallReturnsAckAndNothingIsDeserialized) {
+  const auto mid =
+      sys.define_method("noop", [](CallContext&, auto, auto) {
+        return HandlerResult{};
+      });
+  const auto site = sys.add_callsite(class_site(mid, false, {point_id}));
+  const RemoteRef ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(point_id));
+  sys.start();
+  om::Heap& h0 = cluster.machine(0).heap();
+  ObjRef arg = make_point(h0, 1, 2);
+  EXPECT_EQ(sys.invoke(0, ref, site, std::array{arg}), nullptr);
+  // The caller allocated nothing for the reply.
+  EXPECT_EQ(sys.stats(0).serial.objects_allocated, 0u);
+  h0.free(arg);
+}
+
+TEST_F(RmiTest, ReturnElisionSendsAckEvenWhenHandlerReturnsValue) {
+  // §3.1: the call site ignores the return value, so the compiler elides
+  // it (plan.ret == nullptr) and the callee discards the handler's value.
+  const auto mid = sys.define_method(
+      "produce", [&](CallContext& ctx, auto, auto) {
+        return HandlerResult{.value = make_point(ctx.heap(), 9, 9),
+                             .give_ownership = true};
+      });
+  const auto site = sys.add_callsite(class_site(mid, false, {}));
+  const RemoteRef ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(point_id));
+  sys.start();
+  EXPECT_EQ(sys.invoke(0, ref, site, {}), nullptr);
+  // The produced value was freed at the callee, not serialized.
+  EXPECT_EQ(sys.stats(1).serial.objects_freed, 1u);
+  EXPECT_EQ(sys.stats(0).serial.objects_allocated, 0u);
+}
+
+TEST_F(RmiTest, LocalCallClonesArgumentsAndReturnValue) {
+  ObjRef observed = nullptr;
+  const auto mid = sys.define_method(
+      "id", [&](CallContext&, auto, std::span<const ObjRef> args) {
+        observed = args[0];
+        return HandlerResult{.value = args[0]};
+      });
+  const auto site = sys.add_callsite(class_site(mid, true, {point_id}));
+  om::Heap& h0 = cluster.machine(0).heap();
+  const RemoteRef ref = sys.export_object(0, h0.alloc(point_id));
+  sys.start();
+
+  ObjRef arg = make_point(h0, 7.0, 8.0);
+  ObjRef result = sys.invoke(0, ref, site, std::array{arg});
+  // Copy semantics: the handler saw a clone, and the caller got a clone of
+  // the handler's return — three distinct objects, equal contents.
+  EXPECT_NE(observed, arg);
+  EXPECT_NE(result, arg);
+  EXPECT_NE(result, observed);
+  EXPECT_TRUE(om::deep_equals(result, arg));
+  EXPECT_EQ(sys.stats(0).local_rpcs, 1u);
+  EXPECT_EQ(sys.stats(0).remote_rpcs, 0u);
+  h0.free(arg);
+  h0.free(result);
+}
+
+TEST_F(RmiTest, ArgsConsumedKeepsHandlerOwnership) {
+  std::vector<ObjRef> kept;
+  const auto mid = sys.define_method(
+      "keep", [&](CallContext&, auto, std::span<const ObjRef> args) {
+        kept.push_back(args[0]);
+        return HandlerResult{.args_consumed = true};
+      });
+  const auto site = sys.add_callsite(class_site(mid, false, {point_id}));
+  const RemoteRef ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(point_id));
+  sys.start();
+  om::Heap& h0 = cluster.machine(0).heap();
+  ObjRef arg = make_point(h0, 1, 1);
+  sys.invoke(0, ref, site, std::array{arg});
+  sys.invoke(0, ref, site, std::array{arg});
+  ASSERT_EQ(kept.size(), 2u);
+  // The kept graphs are alive and distinct.
+  EXPECT_NE(kept[0], kept[1]);
+  EXPECT_TRUE(om::deep_equals(kept[0], kept[1]));
+  EXPECT_EQ(sys.stats(1).serial.objects_freed, 0u);
+  h0.free(arg);
+  cluster.machine(1).heap().free(kept[0]);
+  cluster.machine(1).heap().free(kept[1]);
+}
+
+TEST_F(RmiTest, ReuseArgsRecyclesDeserializedGraphAcrossCalls) {
+  // site+reuse: a double[16][16] argument, per the paper's array bench.
+  ObjRef first_seen = nullptr;
+  ObjRef second_seen = nullptr;
+  const auto mid = sys.define_method(
+      "send", [&](CallContext&, auto, std::span<const ObjRef> args) {
+        (first_seen == nullptr ? first_seen : second_seen) = args[0];
+        return HandlerResult{};
+      });
+
+  CompiledCallSite cs;
+  cs.method_id = mid;
+  cs.plan = std::make_unique<serial::CallSitePlan>();
+  cs.plan->name = "ArrayBench.benchmark.send#0";
+  auto row = std::make_unique<serial::NodePlan>();
+  row->expected_class = row_id;
+  auto mat = std::make_unique<serial::NodePlan>();
+  mat->expected_class = mat_id;
+  mat->elem_plan = std::move(row);
+  cs.plan->args.push_back(std::move(mat));
+  cs.plan->needs_cycle_table = false;  // proven acyclic
+  cs.plan->reuse_args = true;          // escape analysis: does not escape
+  const auto site = sys.add_callsite(std::move(cs));
+  const RemoteRef ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(point_id));
+  sys.start();
+
+  om::Heap& h0 = cluster.machine(0).heap();
+  ObjRef m = h0.alloc_array(mat_id, 16);
+  for (std::uint32_t r = 0; r < 16; ++r) {
+    m->set_elem_ref(r, h0.alloc_array(row_id, 16));
+  }
+  sys.invoke(0, ref, site, std::array{m});
+  sys.invoke(0, ref, site, std::array{m});
+
+  // The callee saw the *same* (recycled) array object on the second call.
+  EXPECT_EQ(first_seen, second_seen);
+  const auto s1 = sys.stats(1);
+  EXPECT_EQ(s1.serial.objects_allocated, 17u);  // only the first call
+  EXPECT_EQ(s1.serial.objects_reused, 17u);     // entire second call
+  EXPECT_EQ(s1.serial.cycle_lookups, 0u);       // cycle table elided
+  h0.free_graph(m);
+}
+
+TEST_F(RmiTest, ReuseRetRecyclesReturnGraphAtCaller) {
+  const auto mid = sys.define_method(
+      "get", [&](CallContext& ctx, auto, auto) {
+        return HandlerResult{.value = make_point(ctx.heap(), 5, 6),
+                             .give_ownership = true};
+      });
+  CompiledCallSite cs;
+  cs.method_id = mid;
+  cs.plan = std::make_unique<serial::CallSitePlan>();
+  cs.plan->name = "get#0";
+  auto ret = std::make_unique<serial::NodePlan>();
+  ret->expected_class = point_id;
+  cs.plan->ret = std::move(ret);
+  cs.plan->needs_cycle_table = false;
+  cs.plan->reuse_ret = true;
+  const auto site = sys.add_callsite(std::move(cs));
+  const RemoteRef ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(point_id));
+  sys.start();
+
+  ObjRef r1 = sys.invoke(0, ref, site, {});
+  ObjRef r2 = sys.invoke(0, ref, site, {});
+  EXPECT_EQ(r1, r2);  // recycled caller-side graph
+  EXPECT_EQ(sys.stats(0).serial.objects_allocated, 1u);
+  EXPECT_EQ(sys.stats(0).serial.objects_reused, 1u);
+}
+
+TEST_F(RmiTest, DeferredReplyCompletesLater) {
+  // A two-party barrier: first caller's reply is deferred until the second
+  // arrives.
+  std::mutex mu;
+  std::vector<ReplyToken> waiting;
+  const auto mid = sys.define_method(
+      "barrier", [&](CallContext& ctx, auto, auto) -> HandlerResult {
+        std::scoped_lock lock(mu);
+        waiting.push_back(ctx.reply_token());
+        if (waiting.size() < 2) return HandlerResult{.deferred = true};
+        for (const auto& t : waiting) {
+          if (t.seq != ctx.reply_token().seq) {
+            ctx.system().send_reply(t, nullptr);
+          }
+        }
+        waiting.clear();
+        return HandlerResult{};
+      });
+  const auto site = sys.add_callsite(class_site(mid, false, {}));
+  const RemoteRef ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(point_id));
+  sys.start();
+
+  std::atomic<int> done{0};
+  std::thread t0([&] {
+    sys.invoke(0, ref, site, {});
+    ++done;
+  });
+  // Give the first call time to arrive and block.
+  while (true) {
+    {
+      std::scoped_lock lock(mu);
+      if (!waiting.empty()) break;
+    }
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(done.load(), 0);
+  sys.invoke(1, ref, site, {});  // local call releases the barrier
+  t0.join();
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST_F(RmiTest, VirtualTimeAdvancesWithCalls) {
+  const auto mid = sys.define_method(
+      "noop", [](CallContext&, auto, auto) { return HandlerResult{}; });
+  const auto site = sys.add_callsite(class_site(mid, false, {}));
+  const RemoteRef ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(point_id));
+  sys.start();
+
+  sys.invoke(0, ref, site, {});
+  const SimTime after_one = cluster.machine(0).clock().now();
+  // An empty optimized round trip should be in the tens of microseconds
+  // (§3.3 quotes ~40 µs per optimized RMI on Myrinet).
+  EXPECT_GT(after_one.as_micros(), 20.0);
+  EXPECT_LT(after_one.as_micros(), 100.0);
+
+  for (int i = 0; i < 9; ++i) sys.invoke(0, ref, site, {});
+  const SimTime after_ten = cluster.machine(0).clock().now();
+  EXPECT_GT(after_ten.as_nanos(), after_one.as_nanos() * 8);
+}
+
+TEST_F(RmiTest, BiggerPayloadsTakeLongerVirtualTime) {
+  const auto mid = sys.define_method(
+      "noop", [](CallContext&, auto, auto) { return HandlerResult{}; });
+  const auto site = sys.add_callsite(class_site(mid, false, {row_id}));
+  const RemoteRef ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(point_id));
+  sys.start();
+
+  om::Heap& h0 = cluster.machine(0).heap();
+  ObjRef small = h0.alloc_array(row_id, 8);
+  ObjRef large = h0.alloc_array(row_id, 64 * 1024);
+
+  sys.invoke(0, ref, site, std::array{small});
+  const SimTime t1 = cluster.machine(0).clock().now();
+  sys.invoke(0, ref, site, std::array{large});
+  const SimTime t2 = cluster.machine(0).clock().now();
+  EXPECT_GT((t2 - t1).as_nanos(), t1.as_nanos() * 2);
+  h0.free(small);
+  h0.free(large);
+}
+
+TEST_F(RmiTest, NetworkStatsCountMessagesAndBytes) {
+  const auto mid = sys.define_method(
+      "noop", [](CallContext&, auto, auto) { return HandlerResult{}; });
+  const auto site = sys.add_callsite(class_site(mid, false, {}));
+  const RemoteRef ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(point_id));
+  sys.start();
+  sys.invoke(0, ref, site, {});
+  EXPECT_EQ(cluster.stats().messages.load(), 2u);  // call + ack
+  EXPECT_GT(cluster.stats().bytes.load(), 0u);
+}
+
+TEST_F(RmiTest, HeavyProtocolCostsMoreThanClassProtocol) {
+  const auto mid = sys.define_method(
+      "noop", [](CallContext&, auto, auto) { return HandlerResult{}; });
+  const auto class_s = sys.add_callsite(class_site(mid, false, {point_id}));
+  CompiledCallSite heavy = class_site(mid, false, {point_id});
+  heavy.heavy = true;
+  const auto heavy_s = sys.add_callsite(std::move(heavy));
+  const RemoteRef ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(point_id));
+  sys.start();
+
+  om::Heap& h0 = cluster.machine(0).heap();
+  ObjRef p = make_point(h0, 1, 2);
+  const auto bytes_before = cluster.stats().bytes.load();
+  sys.invoke(0, ref, class_s, std::array{p});
+  const auto class_bytes = cluster.stats().bytes.load() - bytes_before;
+  sys.invoke(0, ref, heavy_s, std::array{p});
+  const auto heavy_bytes =
+      cluster.stats().bytes.load() - bytes_before - class_bytes;
+  EXPECT_GT(heavy_bytes, class_bytes);
+  h0.free(p);
+}
+
+TEST_F(RmiTest, ConcurrentCallersFromOneMachineAreMatchedBySeq) {
+  const auto mid = sys.define_method(
+      "echo", [&](CallContext& ctx, std::span<const std::int64_t> s,
+                  auto) {
+        ObjRef p = make_point(ctx.heap(), static_cast<double>(s[0]), 0);
+        return HandlerResult{.value = p, .give_ownership = true};
+      });
+  const auto site = sys.add_callsite(class_site(mid, true, {}));
+  const RemoteRef ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(point_id));
+  sys.start();
+
+  constexpr int kThreads = 4;
+  constexpr int kCalls = 25;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kCalls; ++i) {
+        const std::int64_t tag = t * 1000 + i;
+        ObjRef r = sys.invoke(0, ref, site, {},
+                              std::array<std::int64_t, 1>{tag});
+        const om::ClassDescriptor& c = types.get(point_id);
+        if (r == nullptr ||
+            r->get<double>(c.fields[0]) != static_cast<double>(tag)) {
+          ++failures;
+        }
+        cluster.machine(0).heap().free(r);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(sys.stats(0).remote_rpcs,
+            static_cast<std::uint64_t>(kThreads * kCalls));
+}
+
+}  // namespace
+}  // namespace rmiopt::rmi

@@ -1,0 +1,222 @@
+// Tests for the RMI service layer: remote exception propagation and the
+// JavaParty-style name service.
+#include <gtest/gtest.h>
+
+#include "rmi/name_service.hpp"
+#include "rmi/runtime.hpp"
+
+namespace rmiopt::rmi {
+namespace {
+
+class ServicesTest : public ::testing::Test {
+ protected:
+  ServicesTest() : cluster(3, types), sys(cluster, types) {
+    dummy_cls = types.define_class("Dummy", {{"x", om::TypeKind::Int}});
+  }
+  ~ServicesTest() override { sys.stop(); }
+
+  CompiledCallSite void_site(std::uint32_t method) {
+    CompiledCallSite cs;
+    cs.method_id = method;
+    cs.plan = std::make_unique<serial::CallSitePlan>();
+    cs.plan->name = "test";
+    cs.plan->needs_cycle_table = true;
+    return cs;
+  }
+
+  om::TypeRegistry types;
+  net::Cluster cluster;
+  RmiSystem sys;
+  om::ClassId dummy_cls = om::kNoClass;
+};
+
+// ---- remote exceptions -------------------------------------------------------
+
+TEST_F(ServicesTest, RemoteExceptionPropagatesToCaller) {
+  const auto mid = sys.define_method(
+      "boom", [](CallContext&, auto, auto) -> HandlerResult {
+        return HandlerResult::exception("division by zero on the server");
+      });
+  const auto site = sys.add_callsite(void_site(mid));
+  const RemoteRef ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(dummy_cls));
+  sys.start();
+  try {
+    sys.invoke(0, ref, site, {});
+    FAIL() << "expected RemoteException";
+  } catch (const RemoteException& e) {
+    EXPECT_STREQ(e.what(), "division by zero on the server");
+  }
+}
+
+TEST_F(ServicesTest, ThrownErrorIsConvertedToRemoteException) {
+  const auto mid = sys.define_method(
+      "thrower", [](CallContext&, auto, auto) -> HandlerResult {
+        fail("handler blew up");
+      });
+  const auto site = sys.add_callsite(void_site(mid));
+  const RemoteRef ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(dummy_cls));
+  sys.start();
+  EXPECT_THROW(sys.invoke(0, ref, site, {}), RemoteException);
+  // The dispatcher survives: a follow-up call still works.
+  EXPECT_THROW(sys.invoke(0, ref, site, {}), RemoteException);
+}
+
+TEST_F(ServicesTest, LocalCallsPropagateExceptionsToo) {
+  const auto mid = sys.define_method(
+      "boom", [](CallContext&, auto, auto) -> HandlerResult {
+        return HandlerResult::exception("local failure");
+      });
+  const auto site = sys.add_callsite(void_site(mid));
+  const RemoteRef ref =
+      sys.export_object(0, cluster.machine(0).heap().alloc(dummy_cls));
+  sys.start();
+  EXPECT_THROW(sys.invoke(0, ref, site, {}), RemoteException);
+}
+
+TEST_F(ServicesTest, DeferredExceptionCompletesCall) {
+  std::optional<ReplyToken> pending;
+  std::mutex mu;
+  const auto mid = sys.define_method(
+      "defer", [&](CallContext& ctx, auto, auto) -> HandlerResult {
+        std::scoped_lock lock(mu);
+        pending = ctx.reply_token();
+        return HandlerResult{.deferred = true};
+      });
+  const auto site = sys.add_callsite(void_site(mid));
+  const RemoteRef ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(dummy_cls));
+  sys.start();
+
+  std::thread completer([&] {
+    while (true) {
+      {
+        std::scoped_lock lock(mu);
+        if (pending.has_value()) break;
+      }
+      std::this_thread::yield();
+    }
+    sys.send_exception(*pending, "deferred failure");
+  });
+  EXPECT_THROW(sys.invoke(0, ref, site, {}), RemoteException);
+  completer.join();
+}
+
+TEST_F(ServicesTest, ExceptionsDoNotLeakArgumentGraphs) {
+  const auto mid = sys.define_method(
+      "boom", [](CallContext&, auto, auto) -> HandlerResult {
+        return HandlerResult::exception("nope");
+      });
+  CompiledCallSite cs = void_site(mid);
+  cs.plan->args.push_back(serial::make_dynamic_node(dummy_cls));
+  const auto site = sys.add_callsite(std::move(cs));
+  const RemoteRef ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(dummy_cls));
+  sys.start();
+
+  om::Heap& h0 = cluster.machine(0).heap();
+  om::ObjRef arg = h0.alloc(dummy_cls);
+  EXPECT_THROW(sys.invoke(0, ref, site, std::array{arg}), RemoteException);
+  sys.stop();
+  // The callee freed the deserialized argument despite the failure.
+  const auto s1 = sys.stats(1);
+  EXPECT_EQ(s1.serial.objects_allocated, s1.serial.objects_freed);
+  h0.free(arg);
+}
+
+// ---- name service -------------------------------------------------------------
+
+TEST_F(ServicesTest, BindAndLookupRoundTrip) {
+  NameService names(sys, types);
+  const RemoteRef obj =
+      sys.export_object(2, cluster.machine(2).heap().alloc(dummy_cls));
+  sys.start();
+
+  names.bind(2, "worker#2", obj);
+  const RemoteRef found = names.lookup(1, "worker#2");
+  EXPECT_EQ(found.machine, obj.machine);
+  EXPECT_EQ(found.export_id, obj.export_id);
+}
+
+TEST_F(ServicesTest, LookupOfUnboundNameThrows) {
+  NameService names(sys, types);
+  sys.start();
+  EXPECT_THROW(names.lookup(1, "missing"), RemoteException);
+}
+
+TEST_F(ServicesTest, DoubleBindThrows) {
+  NameService names(sys, types);
+  const RemoteRef obj =
+      sys.export_object(1, cluster.machine(1).heap().alloc(dummy_cls));
+  sys.start();
+  names.bind(1, "dup", obj);
+  EXPECT_THROW(names.bind(2, "dup", obj), RemoteException);
+}
+
+TEST_F(ServicesTest, NameServiceUsesClassModeProtocol) {
+  NameService names(sys, types);
+  const RemoteRef obj =
+      sys.export_object(1, cluster.machine(1).heap().alloc(dummy_cls));
+  sys.start();
+  names.bind(1, "svc", obj);
+  names.lookup(0, "svc");
+  sys.stop();
+  // The runtime system's own RMIs probe the cycle table and ship type
+  // info — the residue the paper's site+cycle statistics still show.
+  const auto total = sys.total_stats();
+  EXPECT_GT(total.serial.cycle_lookups, 0u);
+  EXPECT_GT(total.serial.type_info_bytes, 0u);
+}
+
+TEST_F(ServicesTest, PerCallsiteStatsSeparateTraffic) {
+  const auto noop = sys.define_method(
+      "noop", [](CallContext&, auto, auto) { return HandlerResult{}; });
+  CompiledCallSite a = void_site(noop);
+  a.plan->name = "siteA";
+  a.plan->args.push_back(serial::make_dynamic_node(dummy_cls));
+  const auto site_a = sys.add_callsite(std::move(a));
+  CompiledCallSite b2 = void_site(noop);
+  b2.plan->name = "siteB";
+  const auto site_b = sys.add_callsite(std::move(b2));
+  const RemoteRef ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(dummy_cls));
+  sys.start();
+
+  om::Heap& h0 = cluster.machine(0).heap();
+  om::ObjRef arg = h0.alloc(dummy_cls);
+  for (int i = 0; i < 3; ++i) sys.invoke(0, ref, site_a, std::array{arg});
+  sys.invoke(0, ref, site_b, {});
+  sys.invoke(1, ref, site_b, {});  // local call at machine 1
+  sys.stop();
+
+  const auto sa = sys.callsite_stats(site_a);
+  const auto sb = sys.callsite_stats(site_b);
+  EXPECT_EQ(sa.remote_rpcs, 3u);
+  EXPECT_EQ(sa.serial.cycle_lookups, 3u);   // one probe per shipped object
+  EXPECT_EQ(sa.serial.objects_allocated, 3u);
+  EXPECT_EQ(sb.remote_rpcs, 1u);
+  EXPECT_EQ(sb.local_rpcs, 1u);
+  EXPECT_EQ(sb.serial.cycle_lookups, 0u);
+
+  const std::string report = sys.report();
+  EXPECT_NE(report.find("siteA"), std::string::npos);
+  EXPECT_NE(report.find("siteB"), std::string::npos);
+  h0.free(arg);
+}
+
+TEST_F(ServicesTest, LookupFromEveryMachineAgrees) {
+  NameService names(sys, types);
+  const RemoteRef obj =
+      sys.export_object(2, cluster.machine(2).heap().alloc(dummy_cls));
+  sys.start();
+  names.bind(0, "shared", obj);
+  for (std::uint16_t m = 0; m < 3; ++m) {
+    const RemoteRef r = names.lookup(m, "shared");
+    EXPECT_EQ(r.machine, 2);
+    EXPECT_EQ(r.export_id, obj.export_id);
+  }
+}
+
+}  // namespace
+}  // namespace rmiopt::rmi

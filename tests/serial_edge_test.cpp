@@ -1,0 +1,189 @@
+// Edge-case tests for the serialization subsystem: the inline+CompactId
+// protocol variant, protocol violations, unknown classes, handle misuse,
+// and the zero-copy cost accounting.
+#include <gtest/gtest.h>
+
+#include "serial/class_plans.hpp"
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
+#include "wire/protocol.hpp"
+
+namespace rmiopt::serial {
+namespace {
+
+using om::ClassId;
+using om::ObjRef;
+using om::TypeKind;
+
+class SerialEdgeTest : public ::testing::Test {
+ protected:
+  SerialEdgeTest() : class_plans(types), heap(types) {
+    point = types.define_class(
+        "Point", {{"x", TypeKind::Double}, {"y", TypeKind::Double}});
+    darr = types.register_prim_array(TypeKind::Double);
+  }
+  om::TypeRegistry types;
+  ClassPlanRegistry class_plans;
+  om::Heap heap;
+  ClassId point = om::kNoClass;
+  ClassId darr = om::kNoClass;
+};
+
+TEST_F(SerialEdgeTest, InlineNodeWithCompactIdRoundTrips) {
+  // A plan variant between BARE and dynamic: statically known layout but
+  // type id still on the wire (belt-and-suspenders protocols use this).
+  auto plan = std::make_unique<NodePlan>();
+  plan->expected_class = point;
+  plan->type_info = TypeInfoMode::CompactId;
+  const om::ClassDescriptor& c = types.get(point);
+  for (const auto& f : c.fields) {
+    NodePlan::FieldAction fa;
+    fa.field = &f;
+    plan->fields.push_back(std::move(fa));
+  }
+
+  ObjRef p = heap.alloc(c);
+  p->set<double>(c.fields[0], 1.5);
+  SerialStats ws;
+  SerialWriter w(class_plans, ws, false);
+  ByteBuffer buf;
+  w.write(buf, *plan, p);
+  EXPECT_GT(ws.type_info_bytes, 0u);
+
+  SerialStats rs;
+  SerialReader r(class_plans, heap, rs, false);
+  ObjRef copy = r.read(buf, *plan);
+  EXPECT_TRUE(om::deep_equals(p, copy));
+  EXPECT_EQ(rs.type_decodes, 1u);
+  heap.free(p);
+  heap.free(copy);
+}
+
+TEST_F(SerialEdgeTest, WireTypeMismatchOnInlinePlanThrows) {
+  auto plan = std::make_unique<NodePlan>();
+  plan->expected_class = point;
+  plan->type_info = TypeInfoMode::CompactId;
+
+  // Hand-craft a stream claiming a different class id.
+  ByteBuffer buf;
+  buf.put_u8(wire::kTagInline);
+  buf.put_varint(darr);
+  SerialStats rs;
+  SerialReader r(class_plans, heap, rs, false);
+  EXPECT_THROW(r.read(buf, *plan), Error);
+}
+
+TEST_F(SerialEdgeTest, HandleTagWithoutCycleProtocolThrows) {
+  auto plan = serial::make_dynamic_node(point);
+  ByteBuffer buf;
+  buf.put_u8(wire::kTagHandle);
+  buf.put_varint(0);
+  SerialStats rs;
+  SerialReader r(class_plans, heap, rs, /*cycle_enabled=*/false);
+  EXPECT_THROW(r.read(buf, *plan), Error);
+}
+
+TEST_F(SerialEdgeTest, DanglingHandleThrows) {
+  auto plan = serial::make_dynamic_node(point);
+  ByteBuffer buf;
+  buf.put_u8(wire::kTagHandle);
+  buf.put_varint(7);  // no object was ever registered
+  SerialStats rs;
+  SerialReader r(class_plans, heap, rs, /*cycle_enabled=*/true);
+  EXPECT_THROW(r.read(buf, *plan), Error);
+}
+
+TEST_F(SerialEdgeTest, UnknownClassIdOnWireThrows) {
+  auto plan = serial::make_dynamic_node(point);
+  ByteBuffer buf;
+  buf.put_u8(wire::kTagInline);
+  buf.put_varint(9999);
+  SerialStats rs;
+  SerialReader r(class_plans, heap, rs, true);
+  EXPECT_THROW(r.read(buf, *plan), Error);
+}
+
+TEST_F(SerialEdgeTest, UnknownClassNameOnHeavyWireThrows) {
+  ByteBuffer buf;
+  buf.put_u8(wire::kTagInline);
+  buf.put_string("com/example/DoesNotExist");
+  SerialStats rs;
+  SerialReader r(class_plans, heap, rs, true);
+  EXPECT_THROW(r.read_introspective(buf), Error);
+}
+
+TEST_F(SerialEdgeTest, CorruptTagThrows) {
+  auto plan = serial::make_dynamic_node(point);
+  ByteBuffer buf;
+  buf.put_u8(0x7f);
+  SerialStats rs;
+  SerialReader r(class_plans, heap, rs, true);
+  EXPECT_THROW(r.read(buf, *plan), Error);
+}
+
+TEST_F(SerialEdgeTest, OversizedArrayLengthIsRejectedBeforeAllocation) {
+  auto plan = std::make_unique<NodePlan>();
+  plan->expected_class = darr;
+  ByteBuffer buf;
+  buf.put_u8(wire::kTagInline);
+  buf.put_varint(1ull << 40);  // claims ~8 TB of doubles
+  SerialStats rs;
+  SerialReader r(class_plans, heap, rs, false);
+  EXPECT_THROW(r.read(buf, *plan), Error);
+  EXPECT_EQ(rs.objects_allocated, 0u);  // rejected before allocating
+}
+
+TEST_F(SerialEdgeTest, EmptyArraysAndStringsRoundTrip) {
+  ObjRef arr = heap.alloc_array(darr, 0);
+  ObjRef str = heap.alloc_string("");
+  for (ObjRef obj : {arr, str}) {
+    auto root = serial::make_dynamic_node(obj->class_id());
+    SerialStats ws;
+    SerialWriter w(class_plans, ws, true);
+    ByteBuffer buf;
+    w.write(buf, *root, obj);
+    SerialStats rs;
+    SerialReader r(class_plans, heap, rs, true);
+    ObjRef copy = r.read(buf, *root);
+    EXPECT_TRUE(om::deep_equals(obj, copy));
+    EXPECT_EQ(copy->length(), 0u);
+    heap.free(copy);
+  }
+  heap.free(arr);
+  heap.free(str);
+}
+
+TEST_F(SerialEdgeTest, ZeroCopyReceiveReducesCpuCost) {
+  SerialStats s;
+  s.bytes_copied = 4096;     // send side always copies
+  s.bytes_copied_rx = 4096;  // receive side is the zero-copy candidate
+  CostModel normal;
+  CostModel zc;
+  zc.zero_copy_receive = true;
+  EXPECT_LT(s.cpu_cost(zc), s.cpu_cost(normal));
+  // The send-side copy cost is unaffected.
+  SerialStats tx_only;
+  tx_only.bytes_copied = 4096;
+  EXPECT_EQ(tx_only.cpu_cost(zc), tx_only.cpu_cost(normal));
+}
+
+TEST_F(SerialEdgeTest, LazyCycleTableOnlyCountsWhenProbed) {
+  // A message with no reference arguments never sets up a cycle table.
+  SerialStats ws;
+  SerialWriter w(class_plans, ws, /*cycle_enabled=*/true);
+  ByteBuffer buf;
+  auto plan = serial::make_dynamic_node(point);
+  w.write(buf, *plan, nullptr);  // null argument: tag only
+  EXPECT_EQ(ws.cycle_tables_created, 0u);
+  EXPECT_EQ(ws.cycle_lookups, 0u);
+
+  ObjRef p = heap.alloc(point);
+  w.write(buf, *plan, p);
+  EXPECT_EQ(ws.cycle_tables_created, 1u);
+  w.write(buf, *plan, p);  // same pass: still one table
+  EXPECT_EQ(ws.cycle_tables_created, 1u);
+  heap.free(p);
+}
+
+}  // namespace
+}  // namespace rmiopt::serial
