@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cycle_table.dir/ablation_cycle_table.cpp.o"
+  "CMakeFiles/ablation_cycle_table.dir/ablation_cycle_table.cpp.o.d"
+  "ablation_cycle_table"
+  "ablation_cycle_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cycle_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_precise_cycles.dir/ablation_precise_cycles.cpp.o"
+  "CMakeFiles/ablation_precise_cycles.dir/ablation_precise_cycles.cpp.o.d"
+  "ablation_precise_cycles"
+  "ablation_precise_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_precise_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reuse_shapecheck.dir/ablation_reuse_shapecheck.cpp.o"
+  "CMakeFiles/ablation_reuse_shapecheck.dir/ablation_reuse_shapecheck.cpp.o.d"
+  "ablation_reuse_shapecheck"
+  "ablation_reuse_shapecheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reuse_shapecheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

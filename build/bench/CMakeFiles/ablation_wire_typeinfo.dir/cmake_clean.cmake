@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wire_typeinfo.dir/ablation_wire_typeinfo.cpp.o"
+  "CMakeFiles/ablation_wire_typeinfo.dir/ablation_wire_typeinfo.cpp.o.d"
+  "ablation_wire_typeinfo"
+  "ablation_wire_typeinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wire_typeinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

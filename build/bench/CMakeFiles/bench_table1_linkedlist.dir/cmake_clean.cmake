@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_linkedlist.dir/bench_table1_linkedlist.cpp.o"
+  "CMakeFiles/bench_table1_linkedlist.dir/bench_table1_linkedlist.cpp.o.d"
+  "bench_table1_linkedlist"
+  "bench_table1_linkedlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_linkedlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

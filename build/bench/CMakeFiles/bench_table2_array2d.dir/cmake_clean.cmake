@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_array2d.dir/bench_table2_array2d.cpp.o"
+  "CMakeFiles/bench_table2_array2d.dir/bench_table2_array2d.cpp.o.d"
+  "bench_table2_array2d"
+  "bench_table2_array2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_array2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_lu.dir/bench_table3_lu.cpp.o"
+  "CMakeFiles/bench_table3_lu.dir/bench_table3_lu.cpp.o.d"
+  "bench_table3_lu"
+  "bench_table3_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_superopt.dir/bench_table5_superopt.cpp.o"
+  "CMakeFiles/bench_table5_superopt.dir/bench_table5_superopt.cpp.o.d"
+  "bench_table5_superopt"
+  "bench_table5_superopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_superopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_webserver.dir/bench_table7_webserver.cpp.o"
+  "CMakeFiles/bench_table7_webserver.dir/bench_table7_webserver.cpp.o.d"
+  "bench_table7_webserver"
+  "bench_table7_webserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_webserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

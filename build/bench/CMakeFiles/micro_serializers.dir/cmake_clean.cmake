@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_serializers.dir/micro_serializers.cpp.o"
+  "CMakeFiles/micro_serializers.dir/micro_serializers.cpp.o.d"
+  "micro_serializers"
+  "micro_serializers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_serializers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

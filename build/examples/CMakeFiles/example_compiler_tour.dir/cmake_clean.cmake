@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compiler_tour.dir/compiler_tour.cpp.o"
+  "CMakeFiles/example_compiler_tour.dir/compiler_tour.cpp.o.d"
+  "example_compiler_tour"
+  "example_compiler_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compiler_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fault_handling.dir/fault_handling.cpp.o"
+  "CMakeFiles/example_fault_handling.dir/fault_handling.cpp.o.d"
+  "example_fault_handling"
+  "example_fault_handling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fault_handling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_frontend_demo.dir/frontend_demo.cpp.o"
+  "CMakeFiles/example_frontend_demo.dir/frontend_demo.cpp.o.d"
+  "example_frontend_demo"
+  "example_frontend_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_frontend_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

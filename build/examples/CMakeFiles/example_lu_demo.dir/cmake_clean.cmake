@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lu_demo.dir/lu_demo.cpp.o"
+  "CMakeFiles/example_lu_demo.dir/lu_demo.cpp.o.d"
+  "example_lu_demo"
+  "example_lu_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lu_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_superopt_demo.dir/superopt_demo.cpp.o"
+  "CMakeFiles/example_superopt_demo.dir/superopt_demo.cpp.o.d"
+  "example_superopt_demo"
+  "example_superopt_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_superopt_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

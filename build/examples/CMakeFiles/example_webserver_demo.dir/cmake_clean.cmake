@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_webserver_demo.dir/webserver_demo.cpp.o"
+  "CMakeFiles/example_webserver_demo.dir/webserver_demo.cpp.o.d"
+  "example_webserver_demo"
+  "example_webserver_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_webserver_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cycle_analysis.cpp" "src/CMakeFiles/rmiopt.dir/analysis/cycle_analysis.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/analysis/cycle_analysis.cpp.o.d"
+  "/root/repo/src/analysis/escape_analysis.cpp" "src/CMakeFiles/rmiopt.dir/analysis/escape_analysis.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/analysis/escape_analysis.cpp.o.d"
+  "/root/repo/src/analysis/heap_analysis.cpp" "src/CMakeFiles/rmiopt.dir/analysis/heap_analysis.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/analysis/heap_analysis.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/CMakeFiles/rmiopt.dir/apps/lu.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/apps/lu.cpp.o.d"
+  "/root/repo/src/apps/microbench.cpp" "src/CMakeFiles/rmiopt.dir/apps/microbench.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/apps/microbench.cpp.o.d"
+  "/root/repo/src/apps/paper_figures.cpp" "src/CMakeFiles/rmiopt.dir/apps/paper_figures.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/apps/paper_figures.cpp.o.d"
+  "/root/repo/src/apps/superopt.cpp" "src/CMakeFiles/rmiopt.dir/apps/superopt.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/apps/superopt.cpp.o.d"
+  "/root/repo/src/apps/webserver.cpp" "src/CMakeFiles/rmiopt.dir/apps/webserver.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/apps/webserver.cpp.o.d"
+  "/root/repo/src/codegen/plan_generator.cpp" "src/CMakeFiles/rmiopt.dir/codegen/plan_generator.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/codegen/plan_generator.cpp.o.d"
+  "/root/repo/src/driver/compile.cpp" "src/CMakeFiles/rmiopt.dir/driver/compile.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/driver/compile.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "src/CMakeFiles/rmiopt.dir/frontend/lexer.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/frontend/lexer.cpp.o.d"
+  "/root/repo/src/frontend/lower.cpp" "src/CMakeFiles/rmiopt.dir/frontend/lower.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/frontend/lower.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/CMakeFiles/rmiopt.dir/frontend/parser.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/frontend/parser.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/rmiopt.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/module.cpp" "src/CMakeFiles/rmiopt.dir/ir/module.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/ir/module.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/rmiopt.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/CMakeFiles/rmiopt.dir/ir/verifier.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/ir/verifier.cpp.o.d"
+  "/root/repo/src/net/cluster.cpp" "src/CMakeFiles/rmiopt.dir/net/cluster.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/net/cluster.cpp.o.d"
+  "/root/repo/src/net/machine.cpp" "src/CMakeFiles/rmiopt.dir/net/machine.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/net/machine.cpp.o.d"
+  "/root/repo/src/objmodel/class_desc.cpp" "src/CMakeFiles/rmiopt.dir/objmodel/class_desc.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/objmodel/class_desc.cpp.o.d"
+  "/root/repo/src/objmodel/heap.cpp" "src/CMakeFiles/rmiopt.dir/objmodel/heap.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/objmodel/heap.cpp.o.d"
+  "/root/repo/src/rmi/name_service.cpp" "src/CMakeFiles/rmiopt.dir/rmi/name_service.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/rmi/name_service.cpp.o.d"
+  "/root/repo/src/rmi/runtime.cpp" "src/CMakeFiles/rmiopt.dir/rmi/runtime.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/rmi/runtime.cpp.o.d"
+  "/root/repo/src/serial/class_plans.cpp" "src/CMakeFiles/rmiopt.dir/serial/class_plans.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/serial/class_plans.cpp.o.d"
+  "/root/repo/src/serial/cycle_table.cpp" "src/CMakeFiles/rmiopt.dir/serial/cycle_table.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/serial/cycle_table.cpp.o.d"
+  "/root/repo/src/serial/plan.cpp" "src/CMakeFiles/rmiopt.dir/serial/plan.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/serial/plan.cpp.o.d"
+  "/root/repo/src/serial/reader.cpp" "src/CMakeFiles/rmiopt.dir/serial/reader.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/serial/reader.cpp.o.d"
+  "/root/repo/src/serial/writer.cpp" "src/CMakeFiles/rmiopt.dir/serial/writer.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/serial/writer.cpp.o.d"
+  "/root/repo/src/support/sim_time.cpp" "src/CMakeFiles/rmiopt.dir/support/sim_time.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/support/sim_time.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/rmiopt.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/rmiopt.dir/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for rmiopt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_precision_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/analysis_precision_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/analysis_precision_test.cpp.o.d"
+  "/root/repo/tests/api_contract_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/api_contract_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/api_contract_test.cpp.o.d"
+  "/root/repo/tests/apps_config_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/apps_config_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/apps_config_test.cpp.o.d"
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/codegen_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/codegen_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/codegen_test.cpp.o.d"
+  "/root/repo/tests/cycle_escape_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/cycle_escape_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/cycle_escape_test.cpp.o.d"
+  "/root/repo/tests/frontend_fuzz_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/frontend_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/frontend_fuzz_test.cpp.o.d"
+  "/root/repo/tests/frontend_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/frontend_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/frontend_test.cpp.o.d"
+  "/root/repo/tests/heap_analysis_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/heap_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/heap_analysis_test.cpp.o.d"
+  "/root/repo/tests/ir_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/ir_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/ir_test.cpp.o.d"
+  "/root/repo/tests/microbench_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/microbench_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/microbench_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/objmodel_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/objmodel_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/objmodel_test.cpp.o.d"
+  "/root/repo/tests/plan_fuzz_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/plan_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/plan_fuzz_test.cpp.o.d"
+  "/root/repo/tests/precise_cycles_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/precise_cycles_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/precise_cycles_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/pseudocode_golden_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/pseudocode_golden_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/pseudocode_golden_test.cpp.o.d"
+  "/root/repo/tests/rmi_runtime_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/rmi_runtime_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/rmi_runtime_test.cpp.o.d"
+  "/root/repo/tests/rmi_services_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/rmi_services_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/rmi_services_test.cpp.o.d"
+  "/root/repo/tests/serial_edge_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/serial_edge_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/serial_edge_test.cpp.o.d"
+  "/root/repo/tests/serial_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/serial_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/serial_test.cpp.o.d"
+  "/root/repo/tests/source_to_wire_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/source_to_wire_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/source_to_wire_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/rmiopt_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/rmiopt_tests.dir/support_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rmiopt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
