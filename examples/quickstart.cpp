@@ -87,7 +87,7 @@ int main() {
       "remote rpcs: %llu, wire bytes: %llu, type-info bytes: %llu, "
       "cycle lookups: %llu\n",
       static_cast<unsigned long long>(stats.remote_rpcs),
-      static_cast<unsigned long long>(cluster.stats().bytes.load()),
+      static_cast<unsigned long long>(cluster.stats().bytes),
       static_cast<unsigned long long>(stats.serial.type_info_bytes),
       static_cast<unsigned long long>(stats.serial.cycle_lookups));
   std::printf("virtual round-trip time: %s\n",

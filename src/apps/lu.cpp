@@ -56,8 +56,9 @@ RunResult run_lu(codegen::OptLevel level, const LuConfig& cfg) {
   figures::FigureProgram model = figures::make_lu_model();
   driver::CompiledProgram prog = driver::compile(*model.module, level);
 
-  net::Cluster cluster(P, *model.types, cfg.cost);
-  rmi::RmiSystem sys(cluster, *model.types);
+  net::Cluster cluster(P, *model.types, cfg.cost, cfg.transport);
+  rmi::RmiSystem sys(cluster, *model.types,
+                     rmi::ExecutorConfig{cfg.dispatch_workers});
   // The JavaParty runtime's own bootstrap RMIs use generic class-mode
   // stubs — the source of the residual cycle lookups in Table 4.
   rmi::NameService names(sys, *model.types);

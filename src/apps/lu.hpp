@@ -11,6 +11,7 @@
 
 #include "apps/run_result.hpp"
 #include "codegen/opt_level.hpp"
+#include "net/transport.hpp"
 
 namespace rmiopt::apps {
 
@@ -23,6 +24,8 @@ struct LuConfig {
   // and communication trade off realistically in the makespan.
   double flop_pair_ns = 2.0;
   serial::CostModel cost{};    // network/serialization cost model
+  net::TransportKind transport = net::TransportKind::Sim;
+  std::size_t dispatch_workers = 1;  // RMI handler pool per machine
 };
 
 // RunResult::check is the maximum |L·U - A| residual entry (machine 0's

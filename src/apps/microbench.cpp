@@ -13,8 +13,9 @@ RunResult run_list_bench(codegen::OptLevel level, const ListBenchConfig& cfg) {
       *model.module, level,
       driver::CompileOptions{.precise_cycles = cfg.precise_cycles});
 
-  net::Cluster cluster(cfg.machines, *model.types, cfg.cost);
-  rmi::RmiSystem sys(cluster, *model.types);
+  net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport);
+  rmi::RmiSystem sys(cluster, *model.types,
+                     rmi::ExecutorConfig{cfg.dispatch_workers});
 
   // remote void send(LinkedList l): the handler only receives (Figure 14).
   std::uint64_t received = 0;
@@ -60,8 +61,9 @@ RunResult run_array_bench(codegen::OptLevel level,
   figures::FigureProgram model = figures::make_figure12();
   driver::CompiledProgram prog = driver::compile(*model.module, level);
 
-  net::Cluster cluster(cfg.machines, *model.types, cfg.cost);
-  rmi::RmiSystem sys(cluster, *model.types);
+  net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport);
+  rmi::RmiSystem sys(cluster, *model.types,
+                     rmi::ExecutorConfig{cfg.dispatch_workers});
 
   double checksum = 0.0;
   const auto send_method = sys.define_method(

@@ -9,6 +9,7 @@
 
 #include "apps/run_result.hpp"
 #include "codegen/opt_level.hpp"
+#include "net/transport.hpp"
 
 namespace rmiopt::apps {
 
@@ -19,6 +20,8 @@ struct ListBenchConfig {
   // §7 future-work refinement: prove the list acyclic at compile time.
   bool precise_cycles = false;
   serial::CostModel cost{};
+  net::TransportKind transport = net::TransportKind::Sim;
+  std::size_t dispatch_workers = 1;
 };
 
 RunResult run_list_bench(codegen::OptLevel level,
@@ -33,6 +36,8 @@ struct ArrayBenchConfig {
   // reuse cache's runtime size check (Fig. 13) fails and rows reallocate.
   std::uint32_t alternate_cols = 0;
   serial::CostModel cost{};
+  net::TransportKind transport = net::TransportKind::Sim;
+  std::size_t dispatch_workers = 1;
 };
 
 RunResult run_array_bench(codegen::OptLevel level,

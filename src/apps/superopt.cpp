@@ -120,8 +120,9 @@ RunResult run_superopt(codegen::OptLevel level, const SuperoptConfig& cfg) {
                                 decode_operand(0)}}
           : cfg.target;
 
-  net::Cluster cluster(cfg.machines, *model.types, cfg.cost);
-  rmi::RmiSystem sys(cluster, *model.types);
+  net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport);
+  rmi::RmiSystem sys(cluster, *model.types,
+                     rmi::ExecutorConfig{cfg.dispatch_workers});
   // JavaParty runtime bootstrap (class-mode stubs): the residual cycle
   // lookups of Table 6.
   rmi::NameService names(sys, *model.types);

@@ -14,6 +14,7 @@
 
 #include "apps/run_result.hpp"
 #include "codegen/opt_level.hpp"
+#include "net/transport.hpp"
 
 namespace rmiopt::apps {
 
@@ -47,6 +48,8 @@ struct SuperoptConfig {
   std::size_t queue_capacity = 64;
   std::uint64_t seed = 7;
   serial::CostModel cost{};
+  net::TransportKind transport = net::TransportKind::Sim;
+  std::size_t dispatch_workers = 1;
 };
 
 // RunResult::check = number of equivalent sequences found (deterministic

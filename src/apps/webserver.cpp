@@ -28,8 +28,9 @@ RunResult run_webserver(codegen::OptLevel level, const WebserverConfig& cfg) {
   figures::FigureProgram model = figures::make_webserver_model();
   driver::CompiledProgram prog = driver::compile(*model.module, level);
 
-  net::Cluster cluster(cfg.machines, *model.types, cfg.cost);
-  rmi::RmiSystem sys(cluster, *model.types);
+  net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport);
+  rmi::RmiSystem sys(cluster, *model.types,
+                     rmi::ExecutorConfig{cfg.dispatch_workers});
   // JavaParty runtime bootstrap (class-mode stubs): the residual cycle
   // lookups of Table 8.
   rmi::NameService names(sys, *model.types);

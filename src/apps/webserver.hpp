@@ -10,6 +10,7 @@
 
 #include "apps/run_result.hpp"
 #include "codegen/opt_level.hpp"
+#include "net/transport.hpp"
 
 namespace rmiopt::apps {
 
@@ -21,6 +22,8 @@ struct WebserverConfig {
   std::size_t concurrent_clients = 1;  // master-side request pipelines
   std::uint64_t seed = 3;       // request sequence
   serial::CostModel cost{};
+  net::TransportKind transport = net::TransportKind::Sim;
+  std::size_t dispatch_workers = 1;
 };
 
 // RunResult::check = total page bytes received by the master; a correct

@@ -33,6 +33,7 @@ rmi::CompiledCallSite to_runtime_site(const CompiledProgram& program,
   site.method_id = method_id;
   site.heavy = program.level == OptLevel::Heavy;
   site.site_specific = codegen::site_specific(program.level);
+  site.level = program.level;
   return site;
 }
 

@@ -5,14 +5,28 @@
 namespace rmiopt::net {
 
 Cluster::Cluster(std::size_t machine_count, const om::TypeRegistry& types,
-                 const serial::CostModel& cost)
-    : cost_(cost) {
+                 const serial::CostModel& cost, TransportKind transport,
+                 const wire::SessionConfig& session)
+    : cost_(cost), transport_(make_transport(transport, cost_)) {
   RMIOPT_CHECK(machine_count >= 1, "cluster needs at least one machine");
   machines_.reserve(machine_count);
   for (std::size_t i = 0; i < machine_count; ++i) {
     machines_.push_back(std::make_unique<Machine>(
         static_cast<std::uint16_t>(i), types, cost_));
   }
+  sessions_.resize(machine_count * machine_count);
+  for (std::size_t s = 0; s < machine_count; ++s) {
+    for (std::size_t d = 0; d < machine_count; ++d) {
+      if (s == d) continue;
+      sessions_[s * machine_count + d] = std::make_unique<wire::Session>(
+          static_cast<std::uint16_t>(s), static_cast<std::uint16_t>(d),
+          session);
+    }
+  }
+}
+
+wire::Session& Cluster::session(std::uint16_t src, std::uint16_t dst) {
+  return *sessions_[static_cast<std::size_t>(src) * machines_.size() + dst];
 }
 
 void Cluster::send(wire::Message msg) {
@@ -23,28 +37,37 @@ void Cluster::send(wire::Message msg) {
   RMIOPT_CHECK(src != dst, "loopback messages do not cross the network");
 
   Machine& sender = *machines_[src];
-  const std::size_t bytes = msg.wire_size();
+  Machine& receiver = *machines_[dst];
+  // The sink runs under the session lock, so one link's frames reach the
+  // transport — and the receiver's inbox — in link_seq order even when
+  // several threads send concurrently.
+  session(src, dst).post(std::move(msg), [&](wire::Frame frame) {
+    transport_->submit(sender, receiver, std::move(frame));
+  });
+}
 
-  sender.clock().advance(SimTime::nanos(cost_.send_overhead_ns));
-  // GM fragments messages larger than one MTU; every fragment after the
-  // first adds pipeline overhead to the arrival time.
-  const std::int64_t extra_fragments =
-      cost_.fragment_bytes > 0
-          ? static_cast<std::int64_t>(bytes) / cost_.fragment_bytes
-          : 0;
-  const SimTime arrival =
-      sender.clock().now() + SimTime::nanos(cost_.msg_latency_ns) +
-      cost_.for_wire_bytes(bytes) +
-      SimTime::nanos(extra_fragments * cost_.fragment_overhead_ns);
-
-  net_stats_.messages.fetch_add(1, std::memory_order_relaxed);
-  net_stats_.bytes.fetch_add(bytes, std::memory_order_relaxed);
-
-  machines_[dst]->deliver(std::move(msg), arrival);
+void Cluster::flush() {
+  for (std::size_t s = 0; s < machines_.size(); ++s) {
+    for (std::size_t d = 0; d < machines_.size(); ++d) {
+      if (s == d) continue;
+      session(static_cast<std::uint16_t>(s), static_cast<std::uint16_t>(d))
+          .flush([&](wire::Frame frame) {
+            transport_->submit(*machines_[s], *machines_[d],
+                               std::move(frame));
+          });
+    }
+  }
 }
 
 void Cluster::shutdown() {
+  flush();
   for (auto& m : machines_) m->close();
+}
+
+NetworkStats::Snapshot Cluster::stats() const {
+  NetworkStats::Snapshot total;
+  total += transport_->stats();
+  return total;
 }
 
 SimTime Cluster::makespan() const {

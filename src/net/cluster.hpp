@@ -1,50 +1,69 @@
-// The simulated cluster: N machines plus the Myrinet-like network model.
+// The simulated cluster: N machines, one session per directed link, and a
+// pluggable transport backend.
 //
-// send() charges the sender's CPU for the GM send descriptor, computes the
-// arrival time from one-way latency plus the message's wire size over the
-// modelled bandwidth, and delivers the message to the destination inbox.
-// Payload bytes are moved, never copied — the copy cost is charged
-// virtually by the serializer's cost model.
+// send() routes a message through the (src,dst) session — which stamps
+// the link sequence and applies the optional coalescing policy — and the
+// resulting frames through the transport, which charges the sender's CPU
+// for the GM send descriptor, computes the arrival time from one-way
+// latency plus the frame's wire size over the modelled bandwidth, and
+// delivers to the destination inbox.  Payload bytes are moved, never
+// copied — the copy cost is charged virtually by the serializer's cost
+// model.
 #pragma once
 
-#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "net/machine.hpp"
+#include "net/transport.hpp"
+#include "wire/session.hpp"
 
 namespace rmiopt::net {
-
-struct NetworkStats {
-  std::atomic<std::uint64_t> messages{0};
-  std::atomic<std::uint64_t> bytes{0};
-};
 
 class Cluster {
  public:
   Cluster(std::size_t machine_count, const om::TypeRegistry& types,
-          const serial::CostModel& cost = {});
+          const serial::CostModel& cost = {},
+          TransportKind transport = TransportKind::Sim,
+          const wire::SessionConfig& session = {});
 
   std::size_t size() const { return machines_.size(); }
   Machine& machine(std::size_t i) { return *machines_.at(i); }
   const serial::CostModel& cost() const { return cost_; }
 
   // Sends `msg` from its header's source machine to its dest machine.
+  // With a coalescing session config, small replies may be held back
+  // until a flush trigger (a Call on the same link, a full queue, or an
+  // explicit flush()).
   void send(wire::Message msg);
 
-  // Closes every machine's inbox (dispatchers drain and stop).
+  // Forces every session's held-back messages out.
+  void flush();
+
+  // Flushes, then closes every machine's inbox (dispatchers drain and
+  // stop).
   void shutdown();
 
-  const NetworkStats& stats() const { return net_stats_; }
+  // Aggregated traffic over every transport this cluster drives.
+  NetworkStats::Snapshot stats() const;
+
+  // The backend itself (per-transport stats, name).
+  Transport& transport() { return *transport_; }
+  const Transport& transport() const { return *transport_; }
 
   // Virtual makespan: the maximum clock across machines — the cluster-wide
   // "wall time" a benchmark reports.
   SimTime makespan() const;
 
  private:
+  wire::Session& session(std::uint16_t src, std::uint16_t dst);
+
   serial::CostModel cost_;
+  std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<Machine>> machines_;
-  NetworkStats net_stats_;
+  // Directed links, indexed src * size() + dst; the src == dst diagonal
+  // is unused (local RMIs never reach the network).
+  std::vector<std::unique_ptr<wire::Session>> sessions_;
 };
 
 }  // namespace rmiopt::net

@@ -1,0 +1,73 @@
+#include "net/transport.hpp"
+
+#include "net/machine.hpp"
+#include "support/error.hpp"
+
+namespace rmiopt::net {
+
+SimTime Transport::charge_and_schedule(Machine& sender,
+                                       std::size_t charged_bytes) {
+  sender.clock().advance(SimTime::nanos(cost_.send_overhead_ns));
+  // GM fragments frames larger than one MTU; every fragment after the
+  // first adds pipeline overhead to the arrival time.
+  const std::int64_t extra_fragments =
+      cost_.fragment_bytes > 0
+          ? static_cast<std::int64_t>(charged_bytes) / cost_.fragment_bytes
+          : 0;
+  return sender.clock().now() + SimTime::nanos(cost_.msg_latency_ns) +
+         cost_.for_wire_bytes(charged_bytes) +
+         SimTime::nanos(extra_fragments * cost_.fragment_overhead_ns);
+}
+
+void SimTransport::submit(Machine& sender, Machine& receiver,
+                          wire::Frame frame) {
+  const std::size_t charged = frame.charged_bytes();
+  record(frame.messages.size(), charged);
+  const SimTime arrival = charge_and_schedule(sender, charged);
+
+  // Physical transmission: only the byte image crosses the "wire".
+  ByteBuffer image = wire::encode_frame(frame);
+  wire::Frame received = wire::decode_frame(image);
+
+  // Receiver-NIC ordering check: the session stamps frames per link and
+  // emits them under its lock, so they must arrive strictly in order.
+  {
+    const std::uint32_t link =
+        (static_cast<std::uint32_t>(sender.id()) << 16) | receiver.id();
+    std::scoped_lock lock(link_mu_);
+    std::uint64_t& expected = next_link_seq_[link];
+    RMIOPT_CHECK(received.link_seq == expected,
+                 "frame reordered on link: got seq " +
+                     std::to_string(received.link_seq) + ", expected " +
+                     std::to_string(expected));
+    ++expected;
+  }
+
+  for (wire::Message& msg : received.messages) {
+    receiver.deliver(std::move(msg), arrival);
+  }
+}
+
+void LoopbackTransport::submit(Machine& sender, Machine& receiver,
+                               wire::Frame frame) {
+  const std::size_t charged = frame.charged_bytes();
+  record(frame.messages.size(), charged);
+  const SimTime arrival = charge_and_schedule(sender, charged);
+  for (wire::Message& msg : frame.messages) {
+    receiver.deliver(std::move(msg), arrival);
+  }
+}
+
+std::unique_ptr<Transport> make_transport(TransportKind kind,
+                                          const serial::CostModel& cost) {
+  switch (kind) {
+    case TransportKind::Sim:
+      return std::make_unique<SimTransport>(cost);
+    case TransportKind::Loopback:
+      return std::make_unique<LoopbackTransport>(cost);
+  }
+  RMIOPT_CHECK(false, "unknown transport kind");
+  return nullptr;
+}
+
+}  // namespace rmiopt::net

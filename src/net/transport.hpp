@@ -1,0 +1,158 @@
+// The pluggable transport layer.
+//
+// A Transport moves framed messages between two machines and charges the
+// virtual cost of doing so.  The Myrinet/GM arithmetic of the paper (§5)
+// — send-descriptor overhead, one-way latency, bandwidth, fragmentation —
+// lives in the shared base class, so every backend prices traffic
+// identically and makespans are backend-independent; what a backend
+// chooses is the *mechanism*:
+//
+//  * SimTransport — the byte-oriented network model: every frame is
+//    serialized to its physical image (wire/framing.hpp), "transmitted",
+//    decoded at the receiver's NIC, and validated against the link's
+//    sequence counter.  This is the default and exercises the framing
+//    layer on every message.
+//  * LoopbackTransport — in-process delivery: frames move as structs,
+//    no byte image exists.  Proves the runtime above never depends on
+//    the frame encoding, and is the natural seat for future co-located
+//    (shared-memory) backends.
+//
+// Each transport instance owns its own NetworkStats, so a cluster with
+// several backends can report per-transport traffic separately and
+// aggregate with NetworkStats::Snapshot::operator+=.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+
+#include "serial/cost_model.hpp"
+#include "support/sim_time.hpp"
+#include "wire/framing.hpp"
+
+namespace rmiopt::net {
+
+class Machine;
+
+// Traffic counters.  The raw atomics stay private: readers take a
+// Snapshot (a plain value type) and aggregate snapshots with +=.
+class NetworkStats {
+ public:
+  struct Snapshot {
+    std::uint64_t messages = 0;   // logical wire::Messages carried
+    std::uint64_t bytes = 0;      // charged wire bytes (header + payload)
+    std::uint64_t frames = 0;     // physical frames transmitted
+    std::uint64_t coalesced = 0;  // messages that shared a frame with others
+
+    Snapshot& operator+=(const Snapshot& o) {
+      messages += o.messages;
+      bytes += o.bytes;
+      frames += o.frames;
+      coalesced += o.coalesced;
+      return *this;
+    }
+  };
+
+  void record_frame(std::size_t message_count, std::size_t charged_bytes) {
+    messages_.fetch_add(message_count, std::memory_order_relaxed);
+    bytes_.fetch_add(charged_bytes, std::memory_order_relaxed);
+    frames_.fetch_add(1, std::memory_order_relaxed);
+    if (message_count > 1) {
+      coalesced_.fetch_add(message_count, std::memory_order_relaxed);
+    }
+  }
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    s.messages = messages_.load(std::memory_order_relaxed);
+    s.bytes = bytes_.load(std::memory_order_relaxed);
+    s.frames = frames_.load(std::memory_order_relaxed);
+    s.coalesced = coalesced_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+};
+
+enum class TransportKind {
+  Sim,       // byte-framed Myrinet/GM model (default)
+  Loopback,  // in-process struct delivery, same cost model
+};
+
+constexpr std::string_view to_string(TransportKind k) {
+  switch (k) {
+    case TransportKind::Sim:
+      return "sim";
+    case TransportKind::Loopback:
+      return "loopback";
+  }
+  return "?";
+}
+
+class Transport {
+ public:
+  explicit Transport(const serial::CostModel& cost) : cost_(cost) {}
+  virtual ~Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  virtual std::string_view name() const = 0;
+
+  // Moves `frame` from `sender` to `receiver`: charges the sender's
+  // clock, computes the arrival time, and delivers every member message
+  // to the receiver's inbox (all with the frame's arrival time — the
+  // frame crosses the wire as one unit).
+  virtual void submit(Machine& sender, Machine& receiver,
+                      wire::Frame frame) = 0;
+
+  NetworkStats::Snapshot stats() const { return stats_.snapshot(); }
+
+ protected:
+  // Shared GM arithmetic: charges the sender the send-descriptor cost and
+  // returns the frame's arrival time at the receiver's NIC (one-way
+  // latency + bytes over the modelled bandwidth + per-fragment pipeline
+  // overhead for frames larger than one MTU).
+  SimTime charge_and_schedule(Machine& sender, std::size_t charged_bytes);
+
+  void record(std::size_t message_count, std::size_t charged_bytes) {
+    stats_.record_frame(message_count, charged_bytes);
+  }
+
+  const serial::CostModel& cost_;
+
+ private:
+  NetworkStats stats_;
+};
+
+// Byte-framed network model: encode -> transmit -> decode -> validate.
+class SimTransport final : public Transport {
+ public:
+  using Transport::Transport;
+  std::string_view name() const override { return "sim"; }
+  void submit(Machine& sender, Machine& receiver, wire::Frame frame) override;
+
+ private:
+  // Receiver-side per-link in-order validation (link key = src<<16 | dst).
+  std::mutex link_mu_;
+  std::unordered_map<std::uint32_t, std::uint64_t> next_link_seq_;
+};
+
+// In-process delivery: the frame never becomes bytes.
+class LoopbackTransport final : public Transport {
+ public:
+  using Transport::Transport;
+  std::string_view name() const override { return "loopback"; }
+  void submit(Machine& sender, Machine& receiver, wire::Frame frame) override;
+};
+
+std::unique_ptr<Transport> make_transport(TransportKind kind,
+                                          const serial::CostModel& cost);
+
+}  // namespace rmiopt::net

@@ -1,0 +1,65 @@
+#include "rmi/executor.hpp"
+
+#include "support/error.hpp"
+
+namespace rmiopt::rmi {
+
+DispatchExecutor::DispatchExecutor(std::size_t workers) : workers_(workers) {
+  RMIOPT_CHECK(workers_ >= 1, "executor needs at least one worker");
+  if (workers_ == 1) return;  // inline mode: no pool threads
+  pool_.reserve(workers_);
+  for (std::size_t i = 0; i < workers_; ++i) {
+    pool_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+DispatchExecutor::~DispatchExecutor() { drain_and_stop(); }
+
+void DispatchExecutor::execute(std::function<void()> task) {
+  if (workers_ == 1) {
+    task();
+    return;
+  }
+  {
+    std::scoped_lock lock(mu_);
+    RMIOPT_CHECK(!stopping_, "execute after drain_and_stop");
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void DispatchExecutor::drain_and_stop() {
+  if (workers_ == 1) return;
+  {
+    std::unique_lock lock(mu_);
+    idle_cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+    if (stopping_) return;  // another caller already joined the pool
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : pool_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void DispatchExecutor::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [&] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    task();
+    {
+      std::scoped_lock lock(mu_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace rmiopt::rmi

@@ -1,0 +1,66 @@
+// The dispatch executor: who runs an incoming call's handler.
+//
+// The paper's runtime (Manta-JavaParty, §5) hardwires "one dispatcher
+// thread drains the network and runs the handler inline".  That policy is
+// now explicit and configurable: each machine's dispatcher still drains
+// its inbox and deserializes arguments (the unmarshaler-lock discipline
+// of §4), but *handler execution* goes through a DispatchExecutor.
+//
+//  * workers == 1 (default): the task runs inline on the dispatcher
+//    thread — byte-for-byte the paper's semantics, no pool threads exist.
+//  * workers >= 2: tasks queue to a pool and handlers execute
+//    concurrently.  Correctness under concurrency rests on the per-call-
+//    site reuse-cache locking of §3.3 (ReuseSlot's mutex + the Figure 13
+//    null-guard) and on the thread-safe reply path; CPU time still
+//    serializes on the machine's single virtual clock, so N workers model
+//    latency hiding, not extra CPUs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rmiopt::rmi {
+
+struct ExecutorConfig {
+  // Handler-execution workers per machine.  1 preserves the paper's
+  // single-dispatcher semantics (and every benchmark result); N >= 2
+  // enables concurrent handler execution.
+  std::size_t dispatch_workers = 1;
+};
+
+class DispatchExecutor {
+ public:
+  explicit DispatchExecutor(std::size_t workers = 1);
+  ~DispatchExecutor();
+  DispatchExecutor(const DispatchExecutor&) = delete;
+  DispatchExecutor& operator=(const DispatchExecutor&) = delete;
+
+  std::size_t workers() const { return workers_; }
+
+  // Runs `task` inline when single-threaded, else enqueues it to the
+  // pool.  Tasks submitted by one thread start in submission order.
+  void execute(std::function<void()> task);
+
+  // Waits for every queued and in-flight task, then joins the pool.
+  // Idempotent; called by RmiSystem::stop after the dispatchers exit.
+  void drain_and_stop();
+
+ private:
+  void worker_loop();
+
+  const std::size_t workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // queue non-empty or stopping
+  std::condition_variable idle_cv_;  // queue empty and nothing running
+  std::deque<std::function<void()>> queue_;
+  std::size_t running_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> pool_;
+};
+
+}  // namespace rmiopt::rmi

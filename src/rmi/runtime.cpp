@@ -5,11 +5,14 @@
 
 namespace rmiopt::rmi {
 
-RmiSystem::RmiSystem(net::Cluster& cluster, const om::TypeRegistry& types)
+RmiSystem::RmiSystem(net::Cluster& cluster, const om::TypeRegistry& types,
+                     const ExecutorConfig& executor)
     : cluster_(cluster), class_plans_(types) {
   contexts_.reserve(cluster.size());
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     contexts_.push_back(std::make_unique<MachineContext>());
+    contexts_.back()->executor =
+        std::make_unique<DispatchExecutor>(executor.dispatch_workers);
   }
 }
 
@@ -59,6 +62,8 @@ void RmiSystem::stop() {
   for (auto& ctx : contexts_) {
     if (ctx->dispatcher.joinable()) ctx->dispatcher.join();
   }
+  // Dispatchers are gone; let the pools finish whatever they queued.
+  for (auto& ctx : contexts_) ctx->executor->drain_and_stop();
   started_ = false;
 }
 
@@ -377,7 +382,14 @@ void RmiSystem::dispatch_loop(std::uint16_t machine_id) {
   MachineContext& ctx = *contexts_.at(machine_id);
   while (auto env = m.receive_blocking()) {
     if (env->msg.header.kind == wire::MsgKind::Call) {
-      handle_call(machine_id, std::move(*env));
+      // Deserialize on the dispatcher (the unmarshaler lock discipline of
+      // §4), then hand the handler to the executor — inline with one
+      // worker, concurrent with a pool.
+      auto call = std::make_shared<DecodedCall>(
+          decode_call(machine_id, std::move(*env)));
+      ctx.executor->execute([this, machine_id, call] {
+        execute_call(machine_id, std::move(*call));
+      });
       continue;
     }
     // A reply: wake the caller blocked on this sequence number.
@@ -389,7 +401,8 @@ void RmiSystem::dispatch_loop(std::uint16_t machine_id) {
   }
 }
 
-void RmiSystem::handle_call(std::uint16_t machine_id, net::Envelope env) {
+RmiSystem::DecodedCall RmiSystem::decode_call(std::uint16_t machine_id,
+                                              net::Envelope env) {
   net::Machine& m = cluster_.machine(machine_id);
   MachineContext& ctx = *contexts_.at(machine_id);
   const wire::MessageHeader& h = env.msg.header;
@@ -397,56 +410,69 @@ void RmiSystem::handle_call(std::uint16_t machine_id, net::Envelope env) {
   const serial::CallSitePlan& plan = *site.plan;
   const bool cycle_enabled = site.heavy || plan.needs_cycle_table;
 
+  DecodedCall call;
+  call.callsite_id = h.callsite_id;
+  call.seq = h.seq;
+  call.source = h.source_machine;
+  call.target_export = h.target_export;
+
   // Scalars.
   const std::size_t nscalars = env.msg.payload.get_varint();
   // Skeleton machinery (generic vs generated unmarshaler).
   charge_stub(machine_id, site, plan.args.size(), nscalars);
-  std::vector<std::int64_t> scalars(nscalars);
-  for (auto& s : scalars) s = env.msg.payload.get_i64();
+  call.scalars.resize(nscalars);
+  for (auto& s : call.scalars) s = env.msg.payload.get_i64();
 
-  // Object arguments: the dispatcher deserializes while holding the
-  // network (matches the unmarshaler lock discipline of §4).
+  // Object arguments.
   serial::SerialStats pass;
   serial::SerialReader reader(class_plans_, m.heap(), pass, cycle_enabled);
-  std::vector<om::ObjRef> args(plan.args.size(), nullptr);
-  ReuseSlot* slot = nullptr;
+  call.args.assign(plan.args.size(), nullptr);
   std::vector<om::ObjRef> cached;
-  const bool reuse = plan.reuse_args && !site.heavy;
-  if (reuse) {
-    slot = &reuse_slot(ctx, /*ret_side=*/false, h.callsite_id,
-                       plan.args.size());
-    std::scoped_lock lock(slot->mu);
-    cached = slot->cached;
+  call.reuse = plan.reuse_args && !site.heavy;
+  if (call.reuse) {
+    call.slot = &reuse_slot(ctx, /*ret_side=*/false, h.callsite_id,
+                            plan.args.size());
+    std::scoped_lock lock(call.slot->mu);
+    cached = call.slot->cached;
     // Guard against concurrent executions of this unmarshaler (Fig. 13:
     // "temp_arr = null" while in use).
-    std::fill(slot->cached.begin(), slot->cached.end(), nullptr);
+    std::fill(call.slot->cached.begin(), call.slot->cached.end(), nullptr);
   }
-  for (std::size_t i = 0; i < args.size(); ++i) {
+  for (std::size_t i = 0; i < call.args.size(); ++i) {
     if (site.heavy) {
-      args[i] = reader.read_introspective(env.msg.payload);
-    } else if (reuse) {
-      args[i] = reader.read_reusing(env.msg.payload, *plan.args[i],
-                                    cached[i]);
+      call.args[i] = reader.read_introspective(env.msg.payload);
+    } else if (call.reuse) {
+      call.args[i] = reader.read_reusing(env.msg.payload, *plan.args[i],
+                                         cached[i]);
     } else {
-      args[i] = reader.read(env.msg.payload, *plan.args[i]);
+      call.args[i] = reader.read(env.msg.payload, *plan.args[i]);
     }
   }
   charge(machine_id, pass);
   ctx.stats.add_pass(pass);
   add_site_pass(h.callsite_id, pass);
+  return call;
+}
+
+void RmiSystem::execute_call(std::uint16_t machine_id, DecodedCall call) {
+  net::Machine& m = cluster_.machine(machine_id);
+  MachineContext& ctx = *contexts_.at(machine_id);
+  const CompiledCallSite& site = callsite(call.callsite_id);
   m.clock().advance(SimTime::nanos(cluster_.cost().upcall_dispatch_ns));
 
   om::ObjRef self = nullptr;
   {
     std::scoped_lock lock(ctx.exports_mu);
-    RMIOPT_CHECK(h.target_export < ctx.exports.size(), "unknown export id");
-    self = ctx.exports[h.target_export];
+    RMIOPT_CHECK(call.target_export < ctx.exports.size(),
+                 "unknown export id");
+    self = ctx.exports[call.target_export];
   }
-  const ReplyToken token{h.callsite_id, h.seq, h.source_machine, machine_id};
+  const ReplyToken token{call.callsite_id, call.seq, call.source,
+                         machine_id};
   CallContext cc(*this, m, self, token);
   HandlerResult res;
   try {
-    res = methods_[site.method_id].second(cc, scalars, args);
+    res = methods_[site.method_id].second(cc, call.scalars, call.args);
   } catch (const Error& e) {
     res = HandlerResult::exception(e.what());
   }
@@ -462,14 +488,14 @@ void RmiSystem::handle_call(std::uint16_t machine_id, net::Envelope env) {
       send_reply(token, res.value, res.give_ownership);
     }
   }
-  if (reuse) {
+  if (call.reuse) {
     RMIOPT_CHECK(!res.args_consumed,
                  "reuse_args call site must not consume its arguments");
-    std::scoped_lock lock(slot->mu);
-    slot->cached = args;  // retain for the next invocation (§3.3)
+    std::scoped_lock lock(call.slot->mu);
+    call.slot->cached = call.args;  // retain for the next invocation (§3.3)
   } else if (!res.args_consumed) {
     serial::SerialStats freep;
-    free_arg_graphs(m.heap(), args, freep);
+    free_arg_graphs(m.heap(), call.args, freep);
     charge(machine_id, freep);
     ctx.stats.add_pass(freep);
   }
@@ -493,15 +519,17 @@ RmiStatsSnapshot RmiSystem::callsite_stats(std::uint32_t callsite_id) const {
 
 std::string RmiSystem::report() const {
   std::string out =
-      "call site                                 local      remote     "
-      "reused     new(KB)    cycle lookups\n";
+      "call site                                 level                 "
+      "local      remote     reused     new(KB)    cycle lookups\n";
   for (std::size_t id = 0; id < callsites_.size(); ++id) {
     const RmiStatsSnapshot s =
         callsite_stats(static_cast<std::uint32_t>(id));
     char line[256];
     std::snprintf(line, sizeof line,
-                  "%-40s  %-9llu  %-9llu  %-9llu  %-9.1f  %llu\n",
+                  "%-40s  %-20s  %-9llu  %-9llu  %-9llu  %-9.1f  %llu\n",
                   callsites_[id].plan->name.c_str(),
+                  std::string(codegen::to_string(callsites_[id].level))
+                      .c_str(),
                   static_cast<unsigned long long>(s.local_rpcs),
                   static_cast<unsigned long long>(s.remote_rpcs),
                   static_cast<unsigned long long>(s.serial.objects_reused),

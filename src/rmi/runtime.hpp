@@ -6,7 +6,9 @@
 //    "at any time only one thread can drain the network";
 //  * incoming Call messages are deserialized by the dispatcher (the paper
 //    holds the unmarshaler lock until the user's code starts), then the
-//    user handler runs inline;
+//    user handler runs through the machine's DispatchExecutor: inline on
+//    the dispatcher with the default single worker (the paper's model),
+//    concurrently on a pool with ExecutorConfig::dispatch_workers >= 2;
 //  * handlers may *defer* their reply (blocking semantics, e.g. a barrier)
 //    and reply later via send_reply() from any thread;
 //  * a same-machine ("local") RMI does not cross the network: arguments
@@ -28,7 +30,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "codegen/opt_level.hpp"
 #include "net/cluster.hpp"
+#include "rmi/executor.hpp"
 #include "rmi/remote_ref.hpp"
 #include "rmi/stats.hpp"
 #include "serial/class_plans.hpp"
@@ -49,6 +53,9 @@ struct CompiledCallSite {
   // mode) stubs pay per-call boxing/dispatch/skeleton indirections (§1).
   // Controls which per-call overhead the cost model charges.
   bool site_specific = false;
+  // The optimization level this site was compiled at (report labelling;
+  // set by driver::to_runtime_site).
+  codegen::OptLevel level = codegen::OptLevel::Class;
 };
 
 class RmiSystem;
@@ -111,7 +118,8 @@ using Handler = std::function<HandlerResult(
 
 class RmiSystem {
  public:
-  RmiSystem(net::Cluster& cluster, const om::TypeRegistry& types);
+  RmiSystem(net::Cluster& cluster, const om::TypeRegistry& types,
+            const ExecutorConfig& executor = {});
   ~RmiSystem();
   RmiSystem(const RmiSystem&) = delete;
   RmiSystem& operator=(const RmiSystem&) = delete;
@@ -183,10 +191,28 @@ class RmiSystem {
     std::unordered_map<std::uint32_t, std::unique_ptr<ReuseSlot>> ret_cache;
     std::mutex cache_mu;
     std::thread dispatcher;
+    std::unique_ptr<DispatchExecutor> executor;
+  };
+
+  // An incoming call after the dispatcher deserialized it: everything the
+  // executor needs to run the handler on any thread.
+  struct DecodedCall {
+    std::uint32_t callsite_id = 0;
+    std::uint32_t seq = 0;
+    std::uint16_t source = 0;
+    std::uint32_t target_export = 0;
+    std::vector<std::int64_t> scalars;
+    std::vector<om::ObjRef> args;
+    bool reuse = false;        // reinsert args into the reuse slot after
+    ReuseSlot* slot = nullptr;
   };
 
   void dispatch_loop(std::uint16_t machine_id);
-  void handle_call(std::uint16_t machine_id, net::Envelope env);
+  // Dispatcher side: deserialize the call while "holding the network"
+  // (the unmarshaler-lock discipline of §4).
+  DecodedCall decode_call(std::uint16_t machine_id, net::Envelope env);
+  // Executor side: run the handler, reply, and release/retain arguments.
+  void execute_call(std::uint16_t machine_id, DecodedCall call);
   om::ObjRef invoke_local(std::uint16_t caller, RemoteRef target,
                           const CompiledCallSite& site,
                           std::span<const om::ObjRef> args,

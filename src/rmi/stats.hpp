@@ -20,6 +20,9 @@ struct RmiStatsSnapshot {
     return *this;
   }
 
+  friend bool operator==(const RmiStatsSnapshot&,
+                         const RmiStatsSnapshot&) = default;
+
   // "new (MBytes)": allocation volume caused by deserialization (§5.2).
   double deserialization_mbytes() const {
     return static_cast<double>(serial.bytes_allocated) / (1024.0 * 1024.0);

@@ -44,6 +44,11 @@ struct SerialStats {
     return *this;
   }
 
+  // Componentwise equality: two passes (or totals) saw exactly the same
+  // events.  The transport-equivalence tests lean on this to assert that
+  // a backend swap changes *nothing* the serializers observed.
+  friend bool operator==(const SerialStats&, const SerialStats&) = default;
+
   // Virtual CPU time this pass costs under `m`.
   SimTime cpu_cost(const CostModel& m) const {
     std::int64_t ns = 0;

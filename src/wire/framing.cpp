@@ -1,0 +1,81 @@
+#include "wire/framing.hpp"
+
+#include "support/error.hpp"
+
+namespace rmiopt::wire {
+
+namespace {
+
+void encode_message(ByteBuffer& out, const Message& msg) {
+  out.put_u8(static_cast<std::uint8_t>(msg.header.kind));
+  out.put_u32(msg.header.callsite_id);
+  out.put_u32(msg.header.target_export);
+  out.put_u32(msg.header.seq);
+  out.put(msg.header.source_machine);
+  out.put(msg.header.dest_machine);
+  const auto payload = msg.payload.contents();
+  out.put_varint(payload.size());
+  out.put_bytes(payload.data(), payload.size());
+}
+
+Message decode_message(ByteBuffer& in) {
+  Message msg;
+  const std::uint8_t kind = in.get_u8();
+  RMIOPT_CHECK(kind <= static_cast<std::uint8_t>(MsgKind::Exception),
+               "frame carries unknown message kind");
+  msg.header.kind = static_cast<MsgKind>(kind);
+  msg.header.callsite_id = in.get_u32();
+  msg.header.target_export = in.get_u32();
+  msg.header.seq = in.get_u32();
+  msg.header.source_machine = in.get<std::uint16_t>();
+  msg.header.dest_machine = in.get<std::uint16_t>();
+  const std::uint64_t len = in.get_varint();
+  RMIOPT_CHECK(len <= in.remaining(), "truncated frame: payload cut short");
+  std::vector<std::uint8_t> payload(len);
+  in.get_bytes(payload.data(), payload.size());
+  msg.payload = ByteBuffer(std::move(payload));
+  return msg;
+}
+
+}  // namespace
+
+ByteBuffer encode_frame(const Frame& frame) {
+  RMIOPT_CHECK(!frame.messages.empty(), "cannot encode an empty frame");
+  ByteBuffer out;
+  if (frame.messages.size() == 1) {
+    out.put_u8(kSingleFrameTag);
+    out.put_varint(frame.link_seq);
+    encode_message(out, frame.messages.front());
+  } else {
+    out.put_u8(kBatchFrameTag);
+    out.put_varint(frame.link_seq);
+    out.put_varint(frame.messages.size());
+    for (const Message& m : frame.messages) encode_message(out, m);
+  }
+  return out;
+}
+
+Frame decode_frame(ByteBuffer& buf) {
+  RMIOPT_CHECK(buf.remaining() > 0, "truncated frame: empty image");
+  Frame frame;
+  const std::uint8_t tag = buf.get_u8();
+  frame.link_seq = buf.get_varint();
+  std::uint64_t count = 1;
+  if (tag == kBatchFrameTag) {
+    count = buf.get_varint();
+    RMIOPT_CHECK(count >= 1, "malformed frame: empty batch");
+    // Each message needs at least its fixed header bytes; reject counts
+    // the remaining image cannot possibly satisfy before allocating.
+    RMIOPT_CHECK(count <= buf.remaining() / 17 + 1,
+                 "truncated frame: batch count exceeds image");
+  } else {
+    RMIOPT_CHECK(tag == kSingleFrameTag, "unknown frame tag");
+  }
+  frame.messages.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    frame.messages.push_back(decode_message(buf));
+  }
+  return frame;
+}
+
+}  // namespace rmiopt::wire

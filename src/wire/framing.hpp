@@ -1,0 +1,61 @@
+// Physical frame encoding: the byte image a transport puts on the wire.
+//
+// The session layer hands the transport *frames* — one or more
+// wire::Messages travelling together between the same pair of machines —
+// and a byte-oriented transport (SimTransport) serializes them with the
+// functions here.  The encoding is explicit field-by-field little-endian
+// (never a struct memcpy), so the frame image is independent of struct
+// padding and a decoder can detect truncation:
+//
+//   frame   := tag u8            (kSingleFrameTag | kBatchFrameTag)
+//              link_seq varint   (per directed src->dst link, from 0)
+//              count    varint   (batch frames only)
+//              count x message
+//   message := kind u8
+//              callsite_id u32, target_export u32, seq u32
+//              source u16, dest u16
+//              payload_len varint, payload bytes
+//
+// Note the *charged* size of a message on the simulated wire stays
+// Message::wire_size() (header struct + payload) for cost-model and
+// statistics purposes; the physical image produced here is a transport
+// detail and may be a few bytes smaller or larger.
+#pragma once
+
+#include <vector>
+
+#include "support/bytebuffer.hpp"
+#include "wire/protocol.hpp"
+
+namespace rmiopt::wire {
+
+inline constexpr std::uint8_t kSingleFrameTag = 0xF1;
+inline constexpr std::uint8_t kBatchFrameTag = 0xF2;
+
+// A unit of transmission on one directed machine-to-machine link.  All
+// messages in a frame share one network traversal (one latency, one send
+// descriptor) — this is what makes the session layer's ACK coalescing
+// (§3.1) pay off.
+struct Frame {
+  std::uint64_t link_seq = 0;
+  std::vector<Message> messages;
+
+  // Wire bytes the cost model charges for this frame (the sum of the
+  // member messages' simulated sizes).
+  std::size_t charged_bytes() const {
+    std::size_t n = 0;
+    for (const Message& m : messages) n += m.wire_size();
+    return n;
+  }
+};
+
+// Serializes `frame` into its physical byte image.  The frame must carry
+// at least one message.
+ByteBuffer encode_frame(const Frame& frame);
+
+// Parses a byte image produced by encode_frame, consuming from `buf`'s
+// read cursor.  Throws rmiopt::Error on an unknown frame tag or a
+// truncated/malformed image.
+Frame decode_frame(ByteBuffer& buf);
+
+}  // namespace rmiopt::wire

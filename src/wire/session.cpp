@@ -1,0 +1,44 @@
+#include "wire/session.hpp"
+
+#include "support/error.hpp"
+
+namespace rmiopt::wire {
+
+bool Session::coalescible(const Message& msg) const {
+  return msg.header.kind != MsgKind::Call &&
+         msg.payload.size() <= cfg_.max_batch_payload;
+}
+
+void Session::seal_and_emit(const FrameSink& sink) {
+  if (queue_.empty()) return;
+  Frame frame;
+  frame.link_seq = next_link_seq_++;
+  frame.messages = std::move(queue_);
+  queue_.clear();
+  sink(std::move(frame));
+}
+
+void Session::post(Message msg, const FrameSink& sink) {
+  RMIOPT_CHECK(msg.header.source_machine == src_ &&
+                   msg.header.dest_machine == dst_,
+               "message posted to the wrong session");
+  std::scoped_lock lock(mu_);
+  // The queue is emitted in posting order, so appending before deciding
+  // whether to transmit preserves the per-link FIFO the inbox relies on.
+  const bool hold = cfg_.batching() && coalescible(msg);
+  queue_.push_back(std::move(msg));
+  if (hold && queue_.size() < cfg_.max_batch_messages) return;
+  seal_and_emit(sink);
+}
+
+void Session::flush(const FrameSink& sink) {
+  std::scoped_lock lock(mu_);
+  seal_and_emit(sink);
+}
+
+std::size_t Session::queued() const {
+  std::scoped_lock lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace rmiopt::wire

@@ -1,0 +1,79 @@
+// The session layer: one Session per directed machine-to-machine link.
+//
+// Sits between the RMI runtime (which produces wire::Messages) and the
+// transport (which moves Frames).  The session owns two link-level
+// concerns the transport and the runtime should not care about:
+//
+//  * sequencing — every frame carries a per-link sequence number, stamped
+//    here and validated by byte-oriented transports on receive, so
+//    reordering bugs surface immediately;
+//  * batched send queues — the §3.1 ACK optimization generalized: small
+//    reply/ACK messages may be held back and coalesced into one frame
+//    with the next flush trigger, paying the per-message network latency
+//    and GM send-descriptor cost once per *frame* instead of once per
+//    message.
+//
+// Coalescing is OFF by default (max_batch_messages = 1): the paper's
+// model sends every message immediately, and synchronous RMI callers
+// block on their replies, so holding a reply back is only sound when the
+// application keeps several calls in flight or flushes explicitly.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "wire/framing.hpp"
+
+namespace rmiopt::wire {
+
+struct SessionConfig {
+  // Maximum messages coalesced into one frame.  1 = transmit every
+  // message immediately (paper semantics, default).
+  std::size_t max_batch_messages = 1;
+  // Only replies (Return/Ack/Exception) with payloads at most this large
+  // are held back for coalescing; Call requests and bulky replies act as
+  // flush triggers and leave in the same frame as anything queued.
+  std::size_t max_batch_payload = 256;
+
+  bool batching() const { return max_batch_messages > 1; }
+};
+
+// Receives sealed frames under the session lock, so frames of one link
+// reach the transport in link_seq order.
+using FrameSink = std::function<void(Frame)>;
+
+class Session {
+ public:
+  Session(std::uint16_t src, std::uint16_t dst, const SessionConfig& cfg)
+      : src_(src), dst_(dst), cfg_(cfg) {}
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  std::uint16_t src() const { return src_; }
+  std::uint16_t dst() const { return dst_; }
+
+  // Queues `msg` and emits zero or more ready frames into `sink`.  With
+  // batching off every post emits exactly one single-message frame.
+  void post(Message msg, const FrameSink& sink);
+
+  // Forces any held-back messages out as one frame.
+  void flush(const FrameSink& sink);
+
+  // Messages currently held in the coalescing queue (introspection).
+  std::size_t queued() const;
+
+ private:
+  bool coalescible(const Message& msg) const;
+  void seal_and_emit(const FrameSink& sink);  // callers hold mu_
+
+  const std::uint16_t src_;
+  const std::uint16_t dst_;
+  const SessionConfig cfg_;
+
+  mutable std::mutex mu_;
+  std::uint64_t next_link_seq_ = 0;
+  std::vector<Message> queue_;
+};
+
+}  // namespace rmiopt::wire

@@ -197,9 +197,24 @@ TEST(Cluster, NetworkStatsCountTraffic) {
   Cluster cluster(3, types, test_cost());
   cluster.send(make_msg(0, 1, 10));
   cluster.send(make_msg(1, 2, 20));
-  EXPECT_EQ(cluster.stats().messages.load(), 2u);
-  EXPECT_EQ(cluster.stats().bytes.load(),
-            2 * sizeof(wire::MessageHeader) + 30);
+  const NetworkStats::Snapshot s = cluster.stats();
+  EXPECT_EQ(s.messages, 2u);
+  EXPECT_EQ(s.bytes, 2 * sizeof(wire::MessageHeader) + 30);
+  // Without coalescing every message travels in its own frame.
+  EXPECT_EQ(s.frames, 2u);
+  EXPECT_EQ(s.coalesced, 0u);
+}
+
+TEST(NetworkStats, SnapshotsAccumulate) {
+  NetworkStats a, b;
+  a.record_frame(1, 100);
+  b.record_frame(3, 60);  // a coalesced frame of three messages
+  NetworkStats::Snapshot total = a.snapshot();
+  total += b.snapshot();
+  EXPECT_EQ(total.messages, 4u);
+  EXPECT_EQ(total.bytes, 160u);
+  EXPECT_EQ(total.frames, 2u);
+  EXPECT_EQ(total.coalesced, 3u);
 }
 
 TEST(Cluster, MakespanIsTheMaxClock) {

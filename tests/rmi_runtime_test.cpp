@@ -369,8 +369,8 @@ TEST_F(RmiTest, NetworkStatsCountMessagesAndBytes) {
       sys.export_object(1, cluster.machine(1).heap().alloc(point_id));
   sys.start();
   sys.invoke(0, ref, site, {});
-  EXPECT_EQ(cluster.stats().messages.load(), 2u);  // call + ack
-  EXPECT_GT(cluster.stats().bytes.load(), 0u);
+  EXPECT_EQ(cluster.stats().messages, 2u);  // call + ack
+  EXPECT_GT(cluster.stats().bytes, 0u);
 }
 
 TEST_F(RmiTest, HeavyProtocolCostsMoreThanClassProtocol) {
@@ -386,12 +386,12 @@ TEST_F(RmiTest, HeavyProtocolCostsMoreThanClassProtocol) {
 
   om::Heap& h0 = cluster.machine(0).heap();
   ObjRef p = make_point(h0, 1, 2);
-  const auto bytes_before = cluster.stats().bytes.load();
+  const auto bytes_before = cluster.stats().bytes;
   sys.invoke(0, ref, class_s, std::array{p});
-  const auto class_bytes = cluster.stats().bytes.load() - bytes_before;
+  const auto class_bytes = cluster.stats().bytes - bytes_before;
   sys.invoke(0, ref, heavy_s, std::array{p});
   const auto heavy_bytes =
-      cluster.stats().bytes.load() - bytes_before - class_bytes;
+      cluster.stats().bytes - bytes_before - class_bytes;
   EXPECT_GT(heavy_bytes, class_bytes);
   h0.free(p);
 }

@@ -1,0 +1,228 @@
+// Unit tests for the wire layer added by the transport refactor: frame
+// encode/decode round trips, malformed-image rejection, and the session
+// layer's sequencing and ACK-coalescing queues.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+#include "wire/framing.hpp"
+#include "wire/session.hpp"
+
+namespace rmiopt::wire {
+namespace {
+
+Message make_msg(MsgKind kind, std::uint16_t from, std::uint16_t to,
+                 std::size_t payload_bytes = 0, std::uint32_t seq = 0) {
+  Message m;
+  m.header.kind = kind;
+  m.header.callsite_id = 7;
+  m.header.target_export = 3;
+  m.header.seq = seq;
+  m.header.source_machine = from;
+  m.header.dest_machine = to;
+  for (std::size_t i = 0; i < payload_bytes; ++i) {
+    m.payload.put_u8(static_cast<std::uint8_t>(i * 37 + seq));
+  }
+  return m;
+}
+
+void expect_equal(const Message& a, const Message& b) {
+  EXPECT_EQ(a.header.kind, b.header.kind);
+  EXPECT_EQ(a.header.callsite_id, b.header.callsite_id);
+  EXPECT_EQ(a.header.target_export, b.header.target_export);
+  EXPECT_EQ(a.header.seq, b.header.seq);
+  EXPECT_EQ(a.header.source_machine, b.header.source_machine);
+  EXPECT_EQ(a.header.dest_machine, b.header.dest_machine);
+  ASSERT_EQ(a.payload.size(), b.payload.size());
+  const auto pa = a.payload.contents();
+  const auto pb = b.payload.contents();
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+}
+
+TEST(Framing, SingleMessageRoundTrip) {
+  Frame frame;
+  frame.link_seq = 41;
+  frame.messages.push_back(make_msg(MsgKind::Call, 0, 1, 64, 9));
+
+  ByteBuffer image = encode_frame(frame);
+  EXPECT_EQ(image.contents()[0], kSingleFrameTag);
+
+  const Frame back = decode_frame(image);
+  EXPECT_EQ(back.link_seq, 41u);
+  ASSERT_EQ(back.messages.size(), 1u);
+  expect_equal(back.messages[0], frame.messages[0]);
+  EXPECT_EQ(image.remaining(), 0u);  // the image was consumed exactly
+}
+
+TEST(Framing, BatchRoundTripPreservesOrderAndContent) {
+  Frame frame;
+  frame.link_seq = 129;  // forces a multi-byte varint
+  frame.messages.push_back(make_msg(MsgKind::Ack, 2, 5, 0, 1));
+  frame.messages.push_back(make_msg(MsgKind::Return, 2, 5, 17, 2));
+  frame.messages.push_back(make_msg(MsgKind::Exception, 2, 5, 3, 3));
+
+  ByteBuffer image = encode_frame(frame);
+  EXPECT_EQ(image.contents()[0], kBatchFrameTag);
+
+  const Frame back = decode_frame(image);
+  EXPECT_EQ(back.link_seq, 129u);
+  ASSERT_EQ(back.messages.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    expect_equal(back.messages[i], frame.messages[i]);
+  }
+}
+
+TEST(Framing, ChargedBytesAreTheSimulatedSizesNotTheImageSize) {
+  Frame frame;
+  frame.messages.push_back(make_msg(MsgKind::Ack, 0, 1, 10));
+  frame.messages.push_back(make_msg(MsgKind::Ack, 0, 1, 20));
+  EXPECT_EQ(frame.charged_bytes(), 2 * sizeof(MessageHeader) + 30);
+  // The physical image uses explicit field-by-field encoding and varint
+  // lengths — the cost model must never be driven by its size.
+  const ByteBuffer image = encode_frame(frame);
+  EXPECT_NE(image.size(), frame.charged_bytes());
+}
+
+TEST(Framing, EveryTruncationOfAValidImageIsRejected) {
+  Frame frame;
+  frame.link_seq = 5;
+  frame.messages.push_back(make_msg(MsgKind::Return, 1, 0, 33));
+  frame.messages.push_back(make_msg(MsgKind::Ack, 1, 0, 2));
+  const ByteBuffer image = encode_frame(frame);
+  const auto bytes = image.contents();
+
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    ByteBuffer truncated(
+        std::vector<std::uint8_t>(bytes.begin(), bytes.begin() + cut));
+    EXPECT_THROW((void)decode_frame(truncated), Error) << "cut=" << cut;
+  }
+}
+
+TEST(Framing, UnknownTagAndKindAreRejected) {
+  ByteBuffer bogus_tag;
+  bogus_tag.put_u8(0x00);
+  bogus_tag.put_varint(0);
+  EXPECT_THROW((void)decode_frame(bogus_tag), Error);
+
+  // A single frame whose message kind byte is out of range.
+  ByteBuffer bogus_kind;
+  bogus_kind.put_u8(kSingleFrameTag);
+  bogus_kind.put_varint(0);  // link_seq
+  bogus_kind.put_u8(0x7F);   // kind — no such MsgKind
+  bogus_kind.put_u32(0);
+  bogus_kind.put_u32(0);
+  bogus_kind.put_u32(0);
+  bogus_kind.put(std::uint16_t{0});
+  bogus_kind.put(std::uint16_t{1});
+  bogus_kind.put_varint(0);
+  EXPECT_THROW((void)decode_frame(bogus_kind), Error);
+}
+
+TEST(Framing, AbsurdBatchCountIsRejectedBeforeAllocation) {
+  ByteBuffer bogus;
+  bogus.put_u8(kBatchFrameTag);
+  bogus.put_varint(0);                     // link_seq
+  bogus.put_varint(1'000'000'000'000ull);  // count far beyond the image
+  EXPECT_THROW((void)decode_frame(bogus), Error);
+}
+
+TEST(Framing, EmptyFrameCannotBeEncoded) {
+  EXPECT_THROW((void)encode_frame(Frame{}), Error);
+}
+
+// ---- session layer --------------------------------------------------------
+
+TEST(Session, UnbatchedPostEmitsImmediatelyWithIncreasingLinkSeq) {
+  Session s(0, 1, SessionConfig{});
+  std::vector<Frame> frames;
+  const FrameSink sink = [&](Frame f) { frames.push_back(std::move(f)); };
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    s.post(make_msg(MsgKind::Call, 0, 1, 0, i), sink);
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(frames[i].link_seq, i);
+    ASSERT_EQ(frames[i].messages.size(), 1u);
+    EXPECT_EQ(frames[i].messages[0].header.seq, i);
+  }
+  EXPECT_EQ(s.queued(), 0u);
+}
+
+TEST(Session, WrongLinkIsRejected) {
+  Session s(0, 1, SessionConfig{});
+  const FrameSink sink = [](Frame) {};
+  EXPECT_THROW(s.post(make_msg(MsgKind::Call, 0, 2, 0), sink), Error);
+  EXPECT_THROW(s.post(make_msg(MsgKind::Call, 1, 0, 0), sink), Error);
+}
+
+TEST(Session, SmallRepliesAreHeldUntilTheBatchFills) {
+  SessionConfig cfg;
+  cfg.max_batch_messages = 3;
+  Session s(1, 0, cfg);
+  std::vector<Frame> frames;
+  const FrameSink sink = [&](Frame f) { frames.push_back(std::move(f)); };
+
+  s.post(make_msg(MsgKind::Ack, 1, 0, 0, 0), sink);
+  s.post(make_msg(MsgKind::Ack, 1, 0, 0, 1), sink);
+  EXPECT_TRUE(frames.empty());
+  EXPECT_EQ(s.queued(), 2u);
+
+  s.post(make_msg(MsgKind::Ack, 1, 0, 0, 2), sink);  // fills the batch
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].messages.size(), 3u);
+  EXPECT_EQ(s.queued(), 0u);
+}
+
+TEST(Session, CallFlushesTheQueueInOneFifoFrame) {
+  SessionConfig cfg;
+  cfg.max_batch_messages = 8;
+  Session s(0, 1, cfg);
+  std::vector<Frame> frames;
+  const FrameSink sink = [&](Frame f) { frames.push_back(std::move(f)); };
+
+  s.post(make_msg(MsgKind::Ack, 0, 1, 0, 0), sink);
+  s.post(make_msg(MsgKind::Return, 0, 1, 8, 1), sink);
+  EXPECT_TRUE(frames.empty());
+  s.post(make_msg(MsgKind::Call, 0, 1, 4, 2), sink);  // flush trigger
+
+  // One frame; the held replies leave *ahead of* the Call (FIFO).
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].messages.size(), 3u);
+  EXPECT_EQ(frames[0].messages[0].header.kind, MsgKind::Ack);
+  EXPECT_EQ(frames[0].messages[1].header.kind, MsgKind::Return);
+  EXPECT_EQ(frames[0].messages[2].header.kind, MsgKind::Call);
+}
+
+TEST(Session, BulkyReplyIsNotHeldBack) {
+  SessionConfig cfg;
+  cfg.max_batch_messages = 8;
+  cfg.max_batch_payload = 16;
+  Session s(0, 1, cfg);
+  std::vector<Frame> frames;
+  const FrameSink sink = [&](Frame f) { frames.push_back(std::move(f)); };
+
+  s.post(make_msg(MsgKind::Return, 0, 1, 64), sink);  // over the threshold
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].messages.size(), 1u);
+}
+
+TEST(Session, ExplicitFlushSealsPartialBatches) {
+  SessionConfig cfg;
+  cfg.max_batch_messages = 8;
+  Session s(0, 1, cfg);
+  std::vector<Frame> frames;
+  const FrameSink sink = [&](Frame f) { frames.push_back(std::move(f)); };
+
+  s.post(make_msg(MsgKind::Ack, 0, 1, 0, 0), sink);
+  s.post(make_msg(MsgKind::Ack, 0, 1, 0, 1), sink);
+  s.flush(sink);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].messages.size(), 2u);
+
+  s.flush(sink);  // idempotent on an empty queue
+  EXPECT_EQ(frames.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rmiopt::wire
