@@ -36,7 +36,32 @@ inline std::vector<LevelRun> run_levels(
   return runs;
 }
 
-// Prints a "seconds | gain over 'class'" table like Tables 1/2/3/5.
+// Prints the fault/reliability counters — but only when something actually
+// went wrong on the wire, so healthy benchmark output stays bit-for-bit
+// identical to a build without fault support.
+inline void print_fault_table(const std::vector<LevelRun>& runs) {
+  bool any = false;
+  for (const auto& run : runs) {
+    const auto& n = run.result.net;
+    any = any || n.faults() > 0 || n.retransmits > 0 || n.timeouts > 0;
+  }
+  if (!any) return;
+  TextTable t({"Optimization", "dropped", "dup'd", "reord", "corrupt",
+               "retrans", "dedup", "timeouts", "failovers"});
+  for (const auto& run : runs) {
+    const auto& n = run.result.net;
+    t.add_row({std::string(codegen::to_string(run.level)),
+               std::to_string(n.dropped), std::to_string(n.duplicated),
+               std::to_string(n.reordered), std::to_string(n.corrupted),
+               std::to_string(n.retransmits), std::to_string(n.dedup_hits),
+               std::to_string(n.timeouts),
+               std::to_string(run.result.failovers)});
+  }
+  std::printf("injected faults and recovery\n%s\n", t.render().c_str());
+}
+
+// Prints a "seconds | gain over 'class'" table like Tables 1/2/3/5,
+// followed by the fault table when fault injection was active.
 inline void print_runtime_table(const std::string& title,
                                 const std::vector<LevelRun>& runs) {
   std::printf("%s\n", title.c_str());
@@ -48,6 +73,7 @@ inline void print_runtime_table(const std::string& title,
                fmt_gain(base, s)});
   }
   std::printf("%s\n", t.render().c_str());
+  print_fault_table(runs);
 }
 
 // Prints a runtime-statistics table like Tables 4/6/8.  The

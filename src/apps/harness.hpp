@@ -14,9 +14,9 @@ inline RunResult collect_run(net::Cluster& cluster, rmi::RmiSystem& sys) {
     r.per_machine.push_back(sys.stats(static_cast<std::uint16_t>(i)));
     r.total += r.per_machine.back();
   }
-  const net::NetworkStats::Snapshot net = cluster.stats();
-  r.messages = net.messages;
-  r.bytes = net.bytes;
+  r.net = cluster.stats();
+  r.messages = r.net.messages;
+  r.bytes = r.net.bytes;
   return r;
 }
 

@@ -56,7 +56,8 @@ RunResult run_lu(codegen::OptLevel level, const LuConfig& cfg) {
   figures::FigureProgram model = figures::make_lu_model();
   driver::CompiledProgram prog = driver::compile(*model.module, level);
 
-  net::Cluster cluster(P, *model.types, cfg.cost, cfg.transport);
+  net::Cluster cluster(P, *model.types, cfg.cost, cfg.transport, {},
+                       cfg.faults);
   rmi::RmiSystem sys(cluster, *model.types,
                      rmi::ExecutorConfig{cfg.dispatch_workers});
   // The JavaParty runtime's own bootstrap RMIs use generic class-mode

@@ -26,6 +26,7 @@ struct LuConfig {
   serial::CostModel cost{};    // network/serialization cost model
   net::TransportKind transport = net::TransportKind::Sim;
   std::size_t dispatch_workers = 1;  // RMI handler pool per machine
+  net::FaultPlan faults{};     // seeded fault injection (inert by default)
 };
 
 // RunResult::check is the maximum |L·U - A| residual entry (machine 0's

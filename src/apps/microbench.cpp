@@ -13,7 +13,8 @@ RunResult run_list_bench(codegen::OptLevel level, const ListBenchConfig& cfg) {
       *model.module, level,
       driver::CompileOptions{.precise_cycles = cfg.precise_cycles});
 
-  net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport);
+  net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport,
+                       {}, cfg.faults);
   rmi::RmiSystem sys(cluster, *model.types,
                      rmi::ExecutorConfig{cfg.dispatch_workers});
 
@@ -61,7 +62,8 @@ RunResult run_array_bench(codegen::OptLevel level,
   figures::FigureProgram model = figures::make_figure12();
   driver::CompiledProgram prog = driver::compile(*model.module, level);
 
-  net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport);
+  net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport,
+                       {}, cfg.faults);
   rmi::RmiSystem sys(cluster, *model.types,
                      rmi::ExecutorConfig{cfg.dispatch_workers});
 

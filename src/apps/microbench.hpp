@@ -22,6 +22,7 @@ struct ListBenchConfig {
   serial::CostModel cost{};
   net::TransportKind transport = net::TransportKind::Sim;
   std::size_t dispatch_workers = 1;
+  net::FaultPlan faults{};  // seeded fault injection (inert by default)
 };
 
 RunResult run_list_bench(codegen::OptLevel level,
@@ -38,6 +39,7 @@ struct ArrayBenchConfig {
   serial::CostModel cost{};
   net::TransportKind transport = net::TransportKind::Sim;
   std::size_t dispatch_workers = 1;
+  net::FaultPlan faults{};  // seeded fault injection (inert by default)
 };
 
 RunResult run_array_bench(codegen::OptLevel level,

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "net/transport.hpp"
 #include "rmi/stats.hpp"
 #include "support/sim_time.hpp"
 
@@ -14,6 +15,8 @@ struct RunResult {
   std::vector<rmi::RmiStatsSnapshot> per_machine;
   std::uint64_t messages = 0;       // network messages
   std::uint64_t bytes = 0;          // network bytes
+  net::NetworkStats::Snapshot net;  // full traffic + fault counters
+  std::uint64_t failovers = 0;      // app-level re-routes around dead nodes
   double check = 0.0;               // app-specific correctness value
 };
 

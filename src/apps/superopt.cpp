@@ -120,7 +120,8 @@ RunResult run_superopt(codegen::OptLevel level, const SuperoptConfig& cfg) {
                                 decode_operand(0)}}
           : cfg.target;
 
-  net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport);
+  net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport,
+                       {}, cfg.faults);
   rmi::RmiSystem sys(cluster, *model.types,
                      rmi::ExecutorConfig{cfg.dispatch_workers});
   // JavaParty runtime bootstrap (class-mode stubs): the residual cycle

@@ -50,6 +50,7 @@ struct SuperoptConfig {
   serial::CostModel cost{};
   net::TransportKind transport = net::TransportKind::Sim;
   std::size_t dispatch_workers = 1;
+  net::FaultPlan faults{};     // seeded fault injection (inert by default)
 };
 
 // RunResult::check = number of equivalent sequences found (deterministic

@@ -1,6 +1,7 @@
 #include "apps/webserver.hpp"
 
 #include <cstdio>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 
@@ -28,9 +29,11 @@ RunResult run_webserver(codegen::OptLevel level, const WebserverConfig& cfg) {
   figures::FigureProgram model = figures::make_webserver_model();
   driver::CompiledProgram prog = driver::compile(*model.module, level);
 
-  net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport);
+  net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport,
+                       {}, cfg.faults);
   rmi::RmiSystem sys(cluster, *model.types,
-                     rmi::ExecutorConfig{cfg.dispatch_workers});
+                     rmi::ExecutorConfig{cfg.dispatch_workers,
+                                         cfg.call_timeout_ms});
   // JavaParty runtime bootstrap (class-mode stubs): the residual cycle
   // lookups of Table 8.
   rmi::NameService names(sys, *model.types);
@@ -81,16 +84,71 @@ RunResult run_webserver(codegen::OptLevel level, const WebserverConfig& cfg) {
   }
   sys.start();
   for (std::size_t s = 0; s < slaves; ++s) {
-    names.bind(static_cast<std::uint16_t>(s + 1),
-               "Server#" + std::to_string(s), servers[s]);
+    try {
+      names.bind(static_cast<std::uint16_t>(s + 1),
+                 "Server#" + std::to_string(s), servers[s]);
+    } catch (const rmi::RmiTimeout&) {
+      // The slave is dead (crashed before it could register); the master
+      // notices below when its lookup fails and re-binds the name.
+    }
   }
 
   // ---- master request loop ---------------------------------------------------
+  // Every slave holds every page, so the master can degrade gracefully:
+  // a slave that crashed (its bind missing, or a later call timing out)
+  // has its name re-bound to a live replica and its traffic re-routed.
   om::Heap& h0 = cluster.machine(0).heap();
+  std::mutex fo_mu;                              // guards resolved + liveness
   std::vector<rmi::RemoteRef> resolved(slaves);
+  std::vector<bool> slave_live(slaves, false);
+  std::vector<std::size_t> unbound;
+  std::uint64_t failovers = 0;
   for (std::size_t s = 0; s < slaves; ++s) {
-    resolved[s] = names.lookup(0, "Server#" + std::to_string(s));
+    try {
+      resolved[s] = names.lookup(0, "Server#" + std::to_string(s));
+      slave_live[s] = true;
+    } catch (const rmi::RemoteException&) {
+      unbound.push_back(s);  // never registered: crashed at startup
+    }
   }
+  // `resolved` and the registry entry must point at live machines before
+  // requests flow.  Live replicas are interchangeable (uniform page set).
+  auto live_replica = [&]() -> std::size_t {
+    for (std::size_t s = 0; s < slaves; ++s) {
+      if (slave_live[s]) return s;
+    }
+    throw Error("webserver: no live slave remains");
+  };
+  for (const std::size_t s : unbound) {
+    resolved[s] = resolved[live_replica()];
+    names.rebind(0, "Server#" + std::to_string(s), resolved[s]);
+    ++failovers;
+  }
+
+  // Routes a request hash to (the current stand-in for) its server.
+  // Invariant under fo_mu: a live slot's ref points at its own, live
+  // machine; a dead slot's ref was re-pointed at a live replica.
+  auto route = [&](std::uint32_t hash) -> rmi::RemoteRef {
+    std::scoped_lock lock(fo_mu);
+    return resolved[hash % slaves];
+  };
+  // A call into `machine` timed out: mark every slot it serves dead and
+  // re-bind those names to a live replica.
+  auto mark_dead = [&](std::uint16_t machine) {
+    std::scoped_lock lock(fo_mu);
+    std::vector<std::size_t> dead_slots;
+    for (std::size_t s = 0; s < slaves; ++s) {
+      if (slave_live[s] && resolved[s].machine == machine) {
+        slave_live[s] = false;
+        dead_slots.push_back(s);
+      }
+    }
+    for (const std::size_t s : dead_slots) {
+      resolved[s] = resolved[live_replica()];
+      names.rebind(0, "Server#" + std::to_string(s), resolved[s]);
+      ++failovers;
+    }
+  };
   // The master forwards requests from `concurrent_clients` pipelines; a
   // single pipeline is latency-bound (one RTT per page), several overlap
   // their round trips across the slaves.
@@ -106,15 +164,27 @@ RunResult run_webserver(codegen::OptLevel level, const WebserverConfig& cfg) {
       const std::string url = url_for(page);
       // Route by the URL's Java hash code, as the paper does.
       const auto h = static_cast<std::uint32_t>(java_string_hash(url));
-      const rmi::RemoteRef& server = resolved[h % slaves];
-
-      om::ObjRef url_obj = h0.alloc_string(url);
-      om::ObjRef page_obj = sys.invoke(0, server, site, std::array{url_obj});
-      if (page_obj != nullptr) {
-        bytes_received += page_obj->length();
-        if (!ret_reused) h0.free_graph(page_obj);
+      // Retry loop: a timed-out call fails over to a live replica and the
+      // request is re-issued there (every slave holds every page, so the
+      // response is identical).  At-most-once semantics make the retry
+      // safe: get_page is read-only and the dead callee never replies.
+      for (;;) {
+        const rmi::RemoteRef server = route(h);
+        om::ObjRef url_obj = h0.alloc_string(url);
+        try {
+          om::ObjRef page_obj =
+              sys.invoke(0, server, site, std::array{url_obj});
+          if (page_obj != nullptr) {
+            bytes_received += page_obj->length();
+            if (!ret_reused) h0.free_graph(page_obj);
+          }
+          h0.free(url_obj);
+          break;
+        } catch (const rmi::RmiTimeout&) {
+          h0.free(url_obj);
+          mark_dead(server.machine);
+        }
       }
-      h0.free(url_obj);
     }
   };
   if (clients == 1) {
@@ -127,6 +197,7 @@ RunResult run_webserver(codegen::OptLevel level, const WebserverConfig& cfg) {
   sys.stop();
 
   RunResult r = collect_run(cluster, sys);
+  r.failovers = failovers;
   r.check = static_cast<double>(bytes_received.load());
   RMIOPT_CHECK(misses.load() == 0, "webserver served a 404");
   return r;

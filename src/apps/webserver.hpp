@@ -24,6 +24,10 @@ struct WebserverConfig {
   serial::CostModel cost{};
   net::TransportKind transport = net::TransportKind::Sim;
   std::size_t dispatch_workers = 1;
+  net::FaultPlan faults{};  // seeded fault injection (inert by default)
+  // Real-time backstop per blocked call (forwarded to the RMI runtime;
+  // virtual-time failures do not wait on it).
+  std::int64_t call_timeout_ms = 30'000;
 };
 
 // RunResult::check = total page bytes received by the master; a correct

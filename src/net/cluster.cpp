@@ -6,9 +6,14 @@ namespace rmiopt::net {
 
 Cluster::Cluster(std::size_t machine_count, const om::TypeRegistry& types,
                  const serial::CostModel& cost, TransportKind transport,
-                 const wire::SessionConfig& session)
+                 const wire::SessionConfig& session, const FaultPlan& faults)
     : cost_(cost), transport_(make_transport(transport, cost_)) {
   RMIOPT_CHECK(machine_count >= 1, "cluster needs at least one machine");
+  if (faults.enabled()) {
+    transport_ = std::make_unique<FaultyTransport>(cost_,
+                                                   std::move(transport_),
+                                                   faults);
+  }
   machines_.reserve(machine_count);
   for (std::size_t i = 0; i < machine_count; ++i) {
     machines_.push_back(std::make_unique<Machine>(
@@ -18,9 +23,14 @@ Cluster::Cluster(std::size_t machine_count, const om::TypeRegistry& types,
   for (std::size_t s = 0; s < machine_count; ++s) {
     for (std::size_t d = 0; d < machine_count; ++d) {
       if (s == d) continue;
+      // Retransmit/NACK timers are virtual time the *sender* spends
+      // waiting, so the session charges them to the source machine.
+      Machine& src = *machines_[s];
       sessions_[s * machine_count + d] = std::make_unique<wire::Session>(
           static_cast<std::uint16_t>(s), static_cast<std::uint16_t>(d),
-          session);
+          session, [&src](std::int64_t nanos) {
+            src.clock().advance(SimTime::nanos(nanos));
+          });
     }
   }
 }
@@ -41,8 +51,8 @@ void Cluster::send(wire::Message msg) {
   // The sink runs under the session lock, so one link's frames reach the
   // transport — and the receiver's inbox — in link_seq order even when
   // several threads send concurrently.
-  session(src, dst).post(std::move(msg), [&](wire::Frame frame) {
-    transport_->submit(sender, receiver, std::move(frame));
+  session(src, dst).post(std::move(msg), [&](const wire::Frame& frame) {
+    return transport_->submit(sender, receiver, frame);
   });
 }
 
@@ -51,9 +61,8 @@ void Cluster::flush() {
     for (std::size_t d = 0; d < machines_.size(); ++d) {
       if (s == d) continue;
       session(static_cast<std::uint16_t>(s), static_cast<std::uint16_t>(d))
-          .flush([&](wire::Frame frame) {
-            transport_->submit(*machines_[s], *machines_[d],
-                               std::move(frame));
+          .flush([&](const wire::Frame& frame) {
+            return transport_->submit(*machines_[s], *machines_[d], frame);
           });
     }
   }

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/machine.hpp"
 #include "net/transport.hpp"
 #include "wire/session.hpp"
@@ -22,10 +23,15 @@ namespace rmiopt::net {
 
 class Cluster {
  public:
+  // With a non-trivial `faults` plan the chosen backend is wrapped in a
+  // FaultyTransport and the plan executed; an all-zero plan (the default)
+  // leaves the backend bare and the byte stream bit-for-bit identical to
+  // a build without fault support.
   Cluster(std::size_t machine_count, const om::TypeRegistry& types,
           const serial::CostModel& cost = {},
           TransportKind transport = TransportKind::Sim,
-          const wire::SessionConfig& session = {});
+          const wire::SessionConfig& session = {},
+          const FaultPlan& faults = {});
 
   std::size_t size() const { return machines_.size(); }
   Machine& machine(std::size_t i) { return *machines_.at(i); }
@@ -34,7 +40,8 @@ class Cluster {
   // Sends `msg` from its header's source machine to its dest machine.
   // With a coalescing session config, small replies may be held back
   // until a flush trigger (a Call on the same link, a full queue, or an
-  // explicit flush()).
+  // explicit flush()).  Throws ProtocolError when the link's ARQ exhausts
+  // its retransmit budget (only possible under an active fault plan).
   void send(wire::Message msg);
 
   // Forces every session's held-back messages out.

@@ -1,0 +1,100 @@
+// Deterministic fault injection for the simulated network.
+//
+// A FaultPlan describes everything that may go wrong on the wire: per-link
+// probabilities for dropping, duplicating, reordering and corrupting
+// frames, plus machines scheduled to crash at a virtual time.  The plan is
+// *seeded*: every decision is a pure function of (seed, link, link_seq,
+// attempt), never of thread interleaving or global submit order, so two
+// runs with the same plan make byte-identical decisions — the determinism
+// the test suite asserts (tests/fault_injection_test.cpp).
+//
+// The plan is consumed by net::FaultyTransport (net/transport.hpp), a
+// decorator that wraps either backend.  All retry traffic it provokes is
+// charged through the ordinary virtual-time code path
+// (Transport::charge_and_schedule), so faults slow the virtual makespan
+// exactly the way a lossy network would slow a real one.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+
+namespace rmiopt::net {
+
+// Per-link fault probabilities, each in [0, 1).
+struct LinkFaults {
+  double drop = 0.0;       // frame lost in transit (sender times out)
+  double duplicate = 0.0;  // frame delivered twice
+  double reorder = 0.0;    // a stale copy arrives late, behind newer frames
+  double corrupt = 0.0;    // bit flip in the byte image (receiver NACKs)
+
+  bool any() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || corrupt > 0;
+  }
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  // Applies to every directed link without an explicit override.
+  LinkFaults default_link;
+  // Overrides keyed on the directed link (src << 16 | dst).
+  std::unordered_map<std::uint32_t, LinkFaults> per_link;
+
+  // A machine that stops responding once its virtual clock reaches
+  // `at_nanos`: frames to or from it vanish, so its peers see timeouts.
+  struct Crash {
+    std::uint16_t machine = 0;
+    std::int64_t at_nanos = 0;
+  };
+  std::vector<Crash> crashes;
+
+  static constexpr std::uint32_t link_key(std::uint16_t src,
+                                          std::uint16_t dst) {
+    return (static_cast<std::uint32_t>(src) << 16) | dst;
+  }
+
+  void set_link(std::uint16_t src, std::uint16_t dst, LinkFaults f) {
+    per_link[link_key(src, dst)] = f;
+  }
+
+  const LinkFaults& link(std::uint16_t src, std::uint16_t dst) const {
+    const auto it = per_link.find(link_key(src, dst));
+    return it == per_link.end() ? default_link : it->second;
+  }
+
+  void crash_at(std::uint16_t machine, std::int64_t at_nanos) {
+    crashes.push_back(Crash{machine, at_nanos});
+  }
+
+  bool crashed(std::uint16_t machine, std::int64_t now_nanos) const {
+    for (const Crash& c : crashes) {
+      if (c.machine == machine && now_nanos >= c.at_nanos) return true;
+    }
+    return false;
+  }
+
+  // Whether the plan can perturb anything at all.  A default-constructed
+  // plan is inert and the cluster skips the decorator entirely.
+  bool enabled() const {
+    if (default_link.any() || !crashes.empty()) return true;
+    for (const auto& [key, f] : per_link) {
+      (void)key;
+      if (f.any()) return true;
+    }
+    return false;
+  }
+
+  // The deterministic dice: a SplitMix64 stream keyed on the plan seed and
+  // the frame's identity on its link.  One attempt of one frame always
+  // rolls the same numbers, independent of when (in real time) it happens.
+  SplitMix64 dice(std::uint16_t src, std::uint16_t dst,
+                  std::uint64_t link_seq, std::uint32_t attempt) const {
+    std::uint64_t key[4] = {seed, link_key(src, dst), link_seq, attempt};
+    return SplitMix64(fnv1a(key, sizeof key));
+  }
+};
+
+}  // namespace rmiopt::net

@@ -10,6 +10,13 @@ void Machine::deliver(wire::Message msg, SimTime arrival) {
   cv_.notify_all();
 }
 
+wire::DedupWindow::Verdict Machine::accept_link_seq(std::uint16_t src,
+                                                    std::uint64_t link_seq) {
+  std::scoped_lock lock(mu_);
+  auto [it, _] = dedup_.try_emplace(src);
+  return it->second.accept(link_seq);
+}
+
 std::optional<Envelope> Machine::receive_blocking() {
   std::unique_lock lock(mu_);
   cv_.wait(lock, [&] { return !inbox_.empty() || closed_; });

@@ -13,11 +13,13 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 
 #include "net/clock.hpp"
 #include "objmodel/heap.hpp"
 #include "serial/cost_model.hpp"
 #include "wire/protocol.hpp"
+#include "wire/session.hpp"
 
 namespace rmiopt::net {
 
@@ -42,6 +44,14 @@ class Machine {
   // Called by the cluster: enqueue a message that arrives at `arrival`.
   void deliver(wire::Message msg, SimTime arrival);
 
+  // Receive-side NIC dedup: classifies `link_seq` of a frame arriving
+  // from `src` against this machine's per-source sliding window.  Only a
+  // Fresh verdict may be delivered; Duplicate (ARQ retransmit or injected
+  // copy) and Stale (reordered copy behind the window) must be discarded
+  // by the transport.
+  wire::DedupWindow::Verdict accept_link_seq(std::uint16_t src,
+                                             std::uint64_t link_seq);
+
   // Blocks until a message is available or the machine is closed.
   // Applies the GM poll/wakeup cost model to the virtual clock.
   std::optional<Envelope> receive_blocking();
@@ -61,6 +71,7 @@ class Machine {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Envelope> inbox_;
+  std::unordered_map<std::uint16_t, wire::DedupWindow> dedup_;  // by source
   bool closed_ = false;
   // Virtual time of the last receive: a host that drained the network
   // recently is considered to be polling (no kernel wakeup charge).

@@ -19,43 +19,172 @@ SimTime Transport::charge_and_schedule(Machine& sender,
          SimTime::nanos(extra_fragments * cost_.fragment_overhead_ns);
 }
 
-void SimTransport::submit(Machine& sender, Machine& receiver,
-                          wire::Frame frame) {
+wire::SendOutcome SimTransport::submit(Machine& sender, Machine& receiver,
+                                       const wire::Frame& frame) {
   const std::size_t charged = frame.charged_bytes();
   record(frame.messages.size(), charged);
   const SimTime arrival = charge_and_schedule(sender, charged);
 
   // Physical transmission: only the byte image crosses the "wire".
   ByteBuffer image = wire::encode_frame(frame);
-  wire::Frame received = wire::decode_frame(image);
+  wire::Frame received;
+  try {
+    received = wire::decode_frame(image);
+  } catch (const DecodeError&) {
+    // A frame this backend itself encoded cannot fail to decode unless
+    // something corrupted it in flight; fail closed and let ARQ resend.
+    stats_.record_corrupted();
+    return wire::SendOutcome::Nacked;
+  }
 
-  // Receiver-NIC ordering check: the session stamps frames per link and
-  // emits them under its lock, so they must arrive strictly in order.
-  {
-    const std::uint32_t link =
-        (static_cast<std::uint32_t>(sender.id()) << 16) | receiver.id();
-    std::scoped_lock lock(link_mu_);
-    std::uint64_t& expected = next_link_seq_[link];
-    RMIOPT_CHECK(received.link_seq == expected,
-                 "frame reordered on link: got seq " +
-                     std::to_string(received.link_seq) + ", expected " +
-                     std::to_string(expected));
-    ++expected;
+  // Receiver-NIC dedup: a retransmitted or injected copy of a frame the
+  // receiver already has is acknowledged but not delivered again.
+  if (receiver.accept_link_seq(sender.id(), received.link_seq) !=
+      wire::DedupWindow::Verdict::Fresh) {
+    stats_.record_dedup_hit();
+    return wire::SendOutcome::Delivered;
   }
 
   for (wire::Message& msg : received.messages) {
     receiver.deliver(std::move(msg), arrival);
   }
+  return wire::SendOutcome::Delivered;
 }
 
-void LoopbackTransport::submit(Machine& sender, Machine& receiver,
-                               wire::Frame frame) {
+wire::SendOutcome LoopbackTransport::submit(Machine& sender,
+                                            Machine& receiver,
+                                            const wire::Frame& frame) {
   const std::size_t charged = frame.charged_bytes();
   record(frame.messages.size(), charged);
   const SimTime arrival = charge_and_schedule(sender, charged);
-  for (wire::Message& msg : frame.messages) {
-    receiver.deliver(std::move(msg), arrival);
+  if (receiver.accept_link_seq(sender.id(), frame.link_seq) !=
+      wire::DedupWindow::Verdict::Fresh) {
+    stats_.record_dedup_hit();
+    return wire::SendOutcome::Delivered;
   }
+  for (const wire::Message& msg : frame.messages) {
+    wire::Message copy;
+    copy.header = msg.header;
+    copy.payload = ByteBuffer(
+        std::vector<std::uint8_t>(msg.payload.contents().begin(),
+                                  msg.payload.contents().end()));
+    receiver.deliver(std::move(copy), arrival);
+  }
+  return wire::SendOutcome::Delivered;
+}
+
+// ---- FaultyTransport --------------------------------------------------------
+
+FaultyTransport::FaultyTransport(const serial::CostModel& cost,
+                                 std::unique_ptr<Transport> inner,
+                                 FaultPlan plan)
+    : Transport(cost),
+      plan_(std::move(plan)),
+      inner_(std::move(inner)),
+      name_("faulty(" + std::string(inner_->name()) + ")") {}
+
+FaultyTransport::LinkState& FaultyTransport::link_state(std::uint16_t src,
+                                                        std::uint16_t dst) {
+  return links_[FaultPlan::link_key(src, dst)];
+}
+
+wire::SendOutcome FaultyTransport::submit(Machine& sender, Machine& receiver,
+                                          const wire::Frame& frame) {
+  const std::uint16_t src = sender.id();
+  const std::uint16_t dst = receiver.id();
+
+  // Attempt bookkeeping: stop-and-wait under the session lock means a
+  // link's retransmits are consecutive submits of the same link_seq.
+  std::uint32_t attempt = 0;
+  std::unique_ptr<wire::Frame> late_release;
+  {
+    std::scoped_lock lock(mu_);
+    LinkState& st = link_state(src, dst);
+    if (st.last_seq == frame.link_seq) {
+      attempt = ++st.attempt;
+    } else {
+      st.last_seq = frame.link_seq;
+      st.attempt = 0;
+    }
+    // A copy held back for reordering arrives late: behind this (newer)
+    // frame.  Take it out under the lock, deliver it after the new frame.
+    if (st.late != nullptr && st.late->link_seq != frame.link_seq) {
+      late_release = std::move(st.late);
+    }
+  }
+  if (attempt > 0) stats_.record_retransmit();
+
+  // A crashed machine neither sends nor receives: the frame vanishes and
+  // the sender's ARQ times out.  (Charging the attempt would perturb the
+  // sender's clock for traffic that never left a dead NIC, so crashes are
+  // silent on the wire; the ARQ backoff timers are still charged by the
+  // session.)
+  if (plan_.crashed(dst, receiver.clock().now().as_nanos()) ||
+      plan_.crashed(src, sender.clock().now().as_nanos())) {
+    stats_.record_dropped();
+    stats_.record_timeout();
+    return wire::SendOutcome::Timeout;
+  }
+
+  SplitMix64 dice = plan_.dice(src, dst, frame.link_seq, attempt);
+  const LinkFaults& faults = plan_.link(src, dst);
+
+  // Corruption: the byte image is damaged in flight; the receiver's
+  // checksum rejects it and NACKs.  The wasted transmission is charged
+  // like any other frame (bytes crossed the wire; nothing was delivered).
+  if (dice.next_double() < faults.corrupt) {
+    stats_.record_corrupted();
+    record(0, frame.charged_bytes());
+    (void)charge_and_schedule(sender, frame.charged_bytes());
+    // Demonstrate the fail-closed path end to end: flip one bit of the
+    // real image and insist the decoder rejects it.
+    ByteBuffer image = wire::encode_frame(frame);
+    std::vector<std::uint8_t> bytes(std::move(image).take());
+    const std::size_t bit = static_cast<std::size_t>(
+        dice.next_below(bytes.size() * 8));
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    ByteBuffer damaged(std::move(bytes));
+    try {
+      (void)wire::decode_frame(damaged);
+      // A flip the checksum failed to catch would be a decoder bug; the
+      // 32-bit FNV residual makes this unreachable in practice.
+    } catch (const DecodeError&) {
+      // expected: rejected, never decoded into the runtime
+    }
+    return wire::SendOutcome::Nacked;
+  }
+
+  // Drop: the frame is lost; the sender's only signal is silence.  The
+  // send-descriptor cost was still paid.
+  if (dice.next_double() < faults.drop) {
+    stats_.record_dropped();
+    stats_.record_timeout();
+    record(0, frame.charged_bytes());
+    (void)charge_and_schedule(sender, frame.charged_bytes());
+    return wire::SendOutcome::Timeout;
+  }
+
+  const bool duplicate = dice.next_double() < faults.duplicate;
+  const bool reorder = dice.next_double() < faults.reorder;
+
+  const wire::SendOutcome out = inner_->submit(sender, receiver, frame);
+
+  if (duplicate) {
+    stats_.record_duplicated();
+    (void)inner_->submit(sender, receiver, frame);  // window discards it
+  }
+  if (reorder) {
+    // Hold a stale copy; it arrives behind the next frame on this link —
+    // the only reordering a stop-and-wait link can exhibit (in-order
+    // delivery of *fresh* frames is guaranteed by the ARQ itself).
+    std::scoped_lock lock(mu_);
+    link_state(src, dst).late = std::make_unique<wire::Frame>(frame);
+  }
+  if (late_release != nullptr) {
+    stats_.record_reordered();
+    (void)inner_->submit(sender, receiver, *late_release);  // stale: dedup
+  }
+  return out;
 }
 
 std::unique_ptr<Transport> make_transport(TransportKind kind,

@@ -9,13 +9,20 @@
 //
 //  * SimTransport — the byte-oriented network model: every frame is
 //    serialized to its physical image (wire/framing.hpp), "transmitted",
-//    decoded at the receiver's NIC, and validated against the link's
-//    sequence counter.  This is the default and exercises the framing
-//    layer on every message.
+//    decoded at the receiver's NIC, and run through the receiver's
+//    per-link dedup window.  This is the default and exercises the
+//    framing layer (including its checksum) on every message.
 //  * LoopbackTransport — in-process delivery: frames move as structs,
 //    no byte image exists.  Proves the runtime above never depends on
 //    the frame encoding, and is the natural seat for future co-located
 //    (shared-memory) backends.
+//  * FaultyTransport — a decorator around either backend that executes a
+//    seeded net::FaultPlan: frames are dropped, duplicated, delivered
+//    stale (reorder), or bit-flipped, and machines crash at scheduled
+//    virtual times.  Its submit() reports the outcome so the session's
+//    ARQ can retransmit; every wasted transmission is charged through
+//    the same charge_and_schedule path as healthy traffic, keeping runs
+//    reproducible seed for seed.
 //
 // Each transport instance owns its own NetworkStats, so a cluster with
 // several backends can report per-transport traffic separately and
@@ -26,12 +33,15 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "net/fault.hpp"
 #include "serial/cost_model.hpp"
 #include "support/sim_time.hpp"
 #include "wire/framing.hpp"
+#include "wire/session.hpp"
 
 namespace rmiopt::net {
 
@@ -47,13 +57,36 @@ class NetworkStats {
     std::uint64_t frames = 0;     // physical frames transmitted
     std::uint64_t coalesced = 0;  // messages that shared a frame with others
 
+    // Fault/reliability counters — all zero on a healthy network.
+    std::uint64_t dropped = 0;      // frames lost in transit
+    std::uint64_t duplicated = 0;   // extra copies injected
+    std::uint64_t reordered = 0;    // stale copies delivered late
+    std::uint64_t corrupted = 0;    // frames rejected by the checksum
+    std::uint64_t retransmits = 0;  // ARQ re-sends of an undelivered frame
+    std::uint64_t dedup_hits = 0;   // frames discarded by a receive window
+    std::uint64_t timeouts = 0;     // retransmit timers the sender waited out
+
     Snapshot& operator+=(const Snapshot& o) {
       messages += o.messages;
       bytes += o.bytes;
       frames += o.frames;
       coalesced += o.coalesced;
+      dropped += o.dropped;
+      duplicated += o.duplicated;
+      reordered += o.reordered;
+      corrupted += o.corrupted;
+      retransmits += o.retransmits;
+      dedup_hits += o.dedup_hits;
+      timeouts += o.timeouts;
       return *this;
     }
+
+    std::uint64_t faults() const {
+      return dropped + duplicated + reordered + corrupted;
+    }
+
+    // Field-by-field equality (the determinism tests compare whole runs).
+    friend bool operator==(const Snapshot&, const Snapshot&) = default;
   };
 
   void record_frame(std::size_t message_count, std::size_t charged_bytes) {
@@ -65,12 +98,37 @@ class NetworkStats {
     }
   }
 
+  void record_dropped() { dropped_.fetch_add(1, std::memory_order_relaxed); }
+  void record_duplicated() {
+    duplicated_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_reordered() {
+    reordered_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_corrupted() {
+    corrupted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_retransmit() {
+    retransmits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_dedup_hit() {
+    dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_timeout() { timeouts_.fetch_add(1, std::memory_order_relaxed); }
+
   Snapshot snapshot() const {
     Snapshot s;
     s.messages = messages_.load(std::memory_order_relaxed);
     s.bytes = bytes_.load(std::memory_order_relaxed);
     s.frames = frames_.load(std::memory_order_relaxed);
     s.coalesced = coalesced_.load(std::memory_order_relaxed);
+    s.dropped = dropped_.load(std::memory_order_relaxed);
+    s.duplicated = duplicated_.load(std::memory_order_relaxed);
+    s.reordered = reordered_.load(std::memory_order_relaxed);
+    s.corrupted = corrupted_.load(std::memory_order_relaxed);
+    s.retransmits = retransmits_.load(std::memory_order_relaxed);
+    s.dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
+    s.timeouts = timeouts_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -79,6 +137,13 @@ class NetworkStats {
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> frames_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> duplicated_{0};
+  std::atomic<std::uint64_t> reordered_{0};
+  std::atomic<std::uint64_t> corrupted_{0};
+  std::atomic<std::uint64_t> retransmits_{0};
+  std::atomic<std::uint64_t> dedup_hits_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
 };
 
 enum class TransportKind {
@@ -108,11 +173,14 @@ class Transport {
   // Moves `frame` from `sender` to `receiver`: charges the sender's
   // clock, computes the arrival time, and delivers every member message
   // to the receiver's inbox (all with the frame's arrival time — the
-  // frame crosses the wire as one unit).
-  virtual void submit(Machine& sender, Machine& receiver,
-                      wire::Frame frame) = 0;
+  // frame crosses the wire as one unit).  Returns the attempt's outcome
+  // so the session ARQ can retransmit; the healthy backends always
+  // deliver (duplicates discarded by the receive window still count as
+  // Delivered — the receiver has the frame).
+  virtual wire::SendOutcome submit(Machine& sender, Machine& receiver,
+                                   const wire::Frame& frame) = 0;
 
-  NetworkStats::Snapshot stats() const { return stats_.snapshot(); }
+  virtual NetworkStats::Snapshot stats() const { return stats_.snapshot(); }
 
  protected:
   // Shared GM arithmetic: charges the sender the send-descriptor cost and
@@ -126,22 +194,16 @@ class Transport {
   }
 
   const serial::CostModel& cost_;
-
- private:
   NetworkStats stats_;
 };
 
-// Byte-framed network model: encode -> transmit -> decode -> validate.
+// Byte-framed network model: encode -> transmit -> decode -> dedup.
 class SimTransport final : public Transport {
  public:
   using Transport::Transport;
   std::string_view name() const override { return "sim"; }
-  void submit(Machine& sender, Machine& receiver, wire::Frame frame) override;
-
- private:
-  // Receiver-side per-link in-order validation (link key = src<<16 | dst).
-  std::mutex link_mu_;
-  std::unordered_map<std::uint32_t, std::uint64_t> next_link_seq_;
+  wire::SendOutcome submit(Machine& sender, Machine& receiver,
+                           const wire::Frame& frame) override;
 };
 
 // In-process delivery: the frame never becomes bytes.
@@ -149,7 +211,48 @@ class LoopbackTransport final : public Transport {
  public:
   using Transport::Transport;
   std::string_view name() const override { return "loopback"; }
-  void submit(Machine& sender, Machine& receiver, wire::Frame frame) override;
+  wire::SendOutcome submit(Machine& sender, Machine& receiver,
+                           const wire::Frame& frame) override;
+};
+
+// Decorator executing a seeded FaultPlan over an inner backend.  Every
+// decision is a pure function of (plan seed, link, link_seq, attempt), so
+// runs are reproducible regardless of thread timing; see net/fault.hpp.
+class FaultyTransport final : public Transport {
+ public:
+  FaultyTransport(const serial::CostModel& cost,
+                  std::unique_ptr<Transport> inner, FaultPlan plan);
+
+  std::string_view name() const override { return name_; }
+  wire::SendOutcome submit(Machine& sender, Machine& receiver,
+                           const wire::Frame& frame) override;
+
+  // Own fault counters plus the wrapped backend's traffic counters.
+  NetworkStats::Snapshot stats() const override {
+    NetworkStats::Snapshot s = stats_.snapshot();
+    s += inner_->stats();
+    return s;
+  }
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  struct LinkState {
+    std::uint64_t last_seq = ~0ull;  // frame currently being attempted
+    std::uint32_t attempt = 0;       // consecutive attempts of last_seq
+    // A copy scheduled to arrive *late*: it is re-submitted (and then
+    // discarded by the receive window as stale) behind the next frame on
+    // this link — the only reordering a stop-and-wait link can exhibit.
+    std::unique_ptr<wire::Frame> late;
+  };
+
+  LinkState& link_state(std::uint16_t src, std::uint16_t dst);
+
+  const FaultPlan plan_;
+  std::unique_ptr<Transport> inner_;
+  std::string name_;
+  std::mutex mu_;
+  std::unordered_map<std::uint32_t, LinkState> links_;
 };
 
 std::unique_ptr<Transport> make_transport(TransportKind kind,

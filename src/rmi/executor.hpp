@@ -31,6 +31,14 @@ struct ExecutorConfig {
   // single-dispatcher semantics (and every benchmark result); N >= 2
   // enables concurrent handler execution.
   std::size_t dispatch_workers = 1;
+
+  // Real-time backstop on a blocked synchronous call, in milliseconds
+  // (0 = wait forever).  Link failures surface *synchronously* through
+  // the virtual-time ARQ (the send itself throws, converted to a typed
+  // RmiTimeout), so on the deterministic paths this timer never fires;
+  // it only converts a genuinely lost reply — e.g. a callee that crashed
+  // after accepting the call — from a hang into an RmiTimeout.
+  std::int64_t call_timeout_ms = 30'000;
 };
 
 class DispatchExecutor {

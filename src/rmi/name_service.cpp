@@ -23,6 +23,18 @@ NameService::NameService(RmiSystem& sys, om::TypeRegistry& types)
         return HandlerResult{};
       });
 
+  const auto rebind_method = sys.define_method(
+      "rmi/Registry.rebind",
+      [this](CallContext&, std::span<const std::int64_t> scalars,
+             std::span<const om::ObjRef> args) -> HandlerResult {
+        const std::string name(args[0]->as_string_view());
+        const RemoteRef ref{static_cast<std::uint16_t>(scalars[0]),
+                            static_cast<std::uint32_t>(scalars[1])};
+        std::scoped_lock lock(mu_);
+        table_[name] = ref;  // create-or-overwrite, unlike bind
+        return HandlerResult{};
+      });
+
   const auto lookup_method = sys.define_method(
       "rmi/Registry.lookup",
       [this, &types](CallContext& ctx, auto,
@@ -60,6 +72,10 @@ NameService::NameService(RmiSystem& sys, om::TypeRegistry& types)
   bind_site.plan = make_plan("rmi/Registry.bind#rts", false);
   bind_site.method_id = bind_method;
   bind_site_ = sys.add_callsite(std::move(bind_site));
+  CompiledCallSite rebind_site;
+  rebind_site.plan = make_plan("rmi/Registry.rebind#rts", false);
+  rebind_site.method_id = rebind_method;
+  rebind_site_ = sys.add_callsite(std::move(rebind_site));
   CompiledCallSite lookup_site;
   lookup_site.plan = make_plan("rmi/Registry.lookup#rts", true);
   lookup_site.method_id = lookup_method;
@@ -75,6 +91,16 @@ void NameService::bind(std::uint16_t caller, const std::string& name,
   om::ObjRef name_obj = heap.alloc_string(name);
   const std::int64_t scalars[2] = {ref.machine, ref.export_id};
   sys_.invoke(caller, registry_, bind_site_, std::array{name_obj}, scalars);
+  heap.free(name_obj);
+}
+
+void NameService::rebind(std::uint16_t caller, const std::string& name,
+                         RemoteRef ref) {
+  om::Heap& heap = sys_.cluster().machine(caller).heap();
+  om::ObjRef name_obj = heap.alloc_string(name);
+  const std::int64_t scalars[2] = {ref.machine, ref.export_id};
+  sys_.invoke(caller, registry_, rebind_site_, std::array{name_obj},
+              scalars);
   heap.free(name_obj);
 }
 

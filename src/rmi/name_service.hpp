@@ -30,6 +30,12 @@ class NameService {
   // RemoteException if the name is already bound.
   void bind(std::uint16_t caller, const std::string& name, RemoteRef ref);
 
+  // Re-points `name` at `ref`, creating or overwriting the binding (an
+  // RMI to machine 0).  The failover primitive: when a machine dies, a
+  // survivor re-binds the dead machine's names to live replicas so later
+  // lookups resolve to a serving machine.
+  void rebind(std::uint16_t caller, const std::string& name, RemoteRef ref);
+
   // Resolves `name` (an RMI to machine 0).  Throws RemoteException if the
   // name is unbound.
   RemoteRef lookup(std::uint16_t caller, const std::string& name);
@@ -38,6 +44,7 @@ class NameService {
   RmiSystem& sys_;
   om::ClassId refbox_ = om::kNoClass;
   std::uint32_t bind_site_ = 0;
+  std::uint32_t rebind_site_ = 0;
   std::uint32_t lookup_site_ = 0;
   RemoteRef registry_{};
   // Server-side table, touched only by machine 0's dispatcher.

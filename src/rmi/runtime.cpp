@@ -1,5 +1,6 @@
 #include "rmi/runtime.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <unordered_set>
 
@@ -7,7 +8,7 @@ namespace rmiopt::rmi {
 
 RmiSystem::RmiSystem(net::Cluster& cluster, const om::TypeRegistry& types,
                      const ExecutorConfig& executor)
-    : cluster_(cluster), class_plans_(types) {
+    : cluster_(cluster), exec_cfg_(executor), class_plans_(types) {
   contexts_.reserve(cluster.size());
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     contexts_.push_back(std::make_unique<MachineContext>());
@@ -64,6 +65,25 @@ void RmiSystem::stop() {
   }
   // Dispatchers are gone; let the pools finish whatever they queued.
   for (auto& ctx : contexts_) ctx->executor->drain_and_stop();
+  // Callee-side reuse caches are runtime-owned (§3.3): release them now
+  // that nothing can dispatch into them.  Return-value caches are not —
+  // their top graph is the value the caller last received and may still
+  // hold.  Slots may share substructure across arguments, so free the
+  // union per machine exactly once.
+  for (std::size_t id = 0; id < contexts_.size(); ++id) {
+    MachineContext& ctx = *contexts_[id];
+    std::unordered_set<om::Object*> graphs;
+    {
+      std::scoped_lock lock(ctx.cache_mu);
+      for (auto& [site, slot] : ctx.arg_cache) {
+        std::scoped_lock slot_lock(slot->mu);
+        for (om::ObjRef o : slot->cached) om::collect_graph(o, graphs);
+        slot->cached.clear();
+      }
+    }
+    om::Heap& heap = cluster_.machine(static_cast<std::uint16_t>(id)).heap();
+    for (om::Object* o : graphs) heap.free(o);
+  }
   started_ = false;
 }
 
@@ -95,6 +115,18 @@ std::promise<RmiSystem::PendingReply>& RmiSystem::register_pending(
 RmiSystem::PendingReply RmiSystem::await_pending(
     MachineContext& ctx, std::uint32_t seq,
     std::future<PendingReply> fut) {
+  if (exec_cfg_.call_timeout_ms > 0 &&
+      fut.wait_for(std::chrono::milliseconds(exec_cfg_.call_timeout_ms)) ==
+          std::future_status::timeout) {
+    {
+      std::scoped_lock lock(ctx.pending_mu);
+      ctx.pending.erase(seq);
+    }
+    ctx.stats.count_call_timeout();
+    throw RmiTimeout("call seq " + std::to_string(seq) +
+                     ": no reply within " +
+                     std::to_string(exec_cfg_.call_timeout_ms) + " ms");
+  }
   PendingReply rep = fut.get();
   {
     std::scoped_lock lock(ctx.pending_mu);
@@ -107,16 +139,55 @@ RmiSystem::PendingReply RmiSystem::await_pending(
   return rep;
 }
 
-void RmiSystem::fulfill_pending(MachineContext& ctx, std::uint32_t seq,
-                                PendingReply reply) {
+bool RmiSystem::try_fulfill_pending(MachineContext& ctx, std::uint32_t seq,
+                                    PendingReply reply) {
   std::promise<PendingReply> prom;
   {
     std::scoped_lock lock(ctx.pending_mu);
     auto it = ctx.pending.find(seq);
-    RMIOPT_CHECK(it != ctx.pending.end(), "reply without matching call");
+    if (it == ctx.pending.end()) return false;
     prom = std::move(it->second);
   }
   prom.set_value(std::move(reply));
+  return true;
+}
+
+void RmiSystem::fulfill_pending(MachineContext& ctx, std::uint32_t seq,
+                                PendingReply reply) {
+  // Local-path replies are produced by the runtime itself, so a missing
+  // entry here is a programmer error, not network noise.
+  RMIOPT_CHECK(try_fulfill_pending(ctx, seq, std::move(reply)),
+               "reply without matching call");
+}
+
+// ---- at-most-once -----------------------------------------------------------
+
+RmiSystem::CallAdmission RmiSystem::admit_call(MachineContext& ctx,
+                                               std::uint64_t key,
+                                               wire::Message* replay) {
+  std::scoped_lock lock(ctx.amo_mu);
+  auto it = ctx.reply_cache.find(key);
+  if (it != ctx.reply_cache.end()) {
+    if (!it->second.replied) return CallAdmission::InProgress;
+    *replay = it->second.reply;  // copy: the cache keeps its own
+    return CallAdmission::Replied;
+  }
+  ctx.reply_cache.emplace(key, ReplyCacheEntry{});
+  ctx.reply_cache_order.push_back(key);
+  while (ctx.reply_cache_order.size() > kReplyCacheCapacity) {
+    ctx.reply_cache.erase(ctx.reply_cache_order.front());
+    ctx.reply_cache_order.pop_front();
+  }
+  return CallAdmission::Fresh;
+}
+
+void RmiSystem::cache_reply(MachineContext& ctx, std::uint64_t key,
+                            const wire::Message& reply) {
+  std::scoped_lock lock(ctx.amo_mu);
+  auto it = ctx.reply_cache.find(key);
+  if (it == ctx.reply_cache.end()) return;  // already evicted
+  it->second.replied = true;
+  it->second.reply = reply;
 }
 
 RmiSystem::ReuseSlot& RmiSystem::reuse_slot(MachineContext& ctx,
@@ -195,7 +266,20 @@ om::ObjRef RmiSystem::invoke(std::uint16_t caller, RemoteRef target,
   cctx.stats.add_pass(pass);
   add_site_pass(callsite_id, pass, 0, 1);
 
-  cluster_.send(std::move(msg));
+  try {
+    cluster_.send(std::move(msg));
+  } catch (const ProtocolError& e) {
+    // The link's ARQ gave up: the callee is crashed or unreachable.  The
+    // failure is synchronous (virtual-time timers, not wall-clock), so it
+    // converts directly into the typed caller-visible form.
+    {
+      std::scoped_lock lock(cctx.pending_mu);
+      cctx.pending.erase(seq);
+    }
+    cctx.stats.count_call_timeout();
+    throw RmiTimeout("call to machine " + std::to_string(target.machine) +
+                     " undeliverable: " + e.what());
+  }
 
   PendingReply rep = await_pending(cctx, seq, std::move(fut));
   RMIOPT_CHECK(!rep.is_local, "local reply on remote path");
@@ -352,7 +436,17 @@ void RmiSystem::send_reply(const ReplyToken& token, om::ObjRef value,
   }
   charge(token.callee_machine, pass);
   callee_ctx.stats.add_pass(pass);
-  cluster_.send(std::move(reply));
+  // At-most-once: keep the serialized reply so a duplicate of this call
+  // can be answered by replay instead of re-executing the handler.
+  cache_reply(callee_ctx, call_key(token.caller_machine, token.seq), reply);
+  try {
+    cluster_.send(std::move(reply));
+  } catch (const ProtocolError&) {
+    // The caller's machine is unreachable; the call has already executed,
+    // so all we can do is count the lost reply.  A surviving caller will
+    // surface its own RmiTimeout.
+    callee_ctx.stats.count_undeliverable_reply();
+  }
 }
 
 void RmiSystem::send_exception(const ReplyToken& token, std::string message) {
@@ -372,7 +466,13 @@ void RmiSystem::send_exception(const ReplyToken& token, std::string message) {
   reply.header.source_machine = token.callee_machine;
   reply.header.dest_machine = token.caller_machine;
   reply.payload.put_string(message);
-  cluster_.send(std::move(reply));
+  MachineContext& callee_ctx = *contexts_.at(token.callee_machine);
+  cache_reply(callee_ctx, call_key(token.caller_machine, token.seq), reply);
+  try {
+    cluster_.send(std::move(reply));
+  } catch (const ProtocolError&) {
+    callee_ctx.stats.count_undeliverable_reply();
+  }
 }
 
 // ---- dispatcher ---------------------------------------------------------------
@@ -381,23 +481,67 @@ void RmiSystem::dispatch_loop(std::uint16_t machine_id) {
   net::Machine& m = cluster_.machine(machine_id);
   MachineContext& ctx = *contexts_.at(machine_id);
   while (auto env = m.receive_blocking()) {
-    if (env->msg.header.kind == wire::MsgKind::Call) {
+    const wire::MessageHeader h = env->msg.header;
+    if (h.kind == wire::MsgKind::Call) {
+      // At-most-once: a duplicate of a call already executing is dropped;
+      // a duplicate of a call already answered gets the cached reply
+      // re-sent verbatim (the handler never runs twice).
+      const std::uint64_t key = call_key(h.source_machine, h.seq);
+      wire::Message replay;
+      switch (admit_call(ctx, key, &replay)) {
+        case CallAdmission::InProgress:
+          ctx.stats.count_duplicate_call();
+          continue;
+        case CallAdmission::Replied:
+          ctx.stats.count_duplicate_call();
+          ctx.stats.count_replayed_reply();
+          try {
+            cluster_.send(std::move(replay));
+          } catch (const ProtocolError&) {
+            ctx.stats.count_undeliverable_reply();
+          }
+          continue;
+        case CallAdmission::Fresh:
+          break;
+      }
+      const ReplyToken token{h.callsite_id, h.seq, h.source_machine,
+                             machine_id};
+      if (h.callsite_id >= callsites_.size()) {
+        // Externally-derived index: answer with a typed remote exception
+        // instead of bringing the callee down.
+        send_exception(token, "unknown call site " +
+                                  std::to_string(h.callsite_id));
+        continue;
+      }
       // Deserialize on the dispatcher (the unmarshaler lock discipline of
       // §4), then hand the handler to the executor — inline with one
       // worker, concurrent with a pool.
-      auto call = std::make_shared<DecodedCall>(
-          decode_call(machine_id, std::move(*env)));
+      std::shared_ptr<DecodedCall> call;
+      try {
+        call = std::make_shared<DecodedCall>(
+            decode_call(machine_id, std::move(*env)));
+      } catch (const Error& e) {
+        // A call whose payload does not match its plan (possible only
+        // from hand-crafted or damaged-but-checksum-colliding input) is
+        // answered exceptionally, not fatally.
+        send_exception(token, std::string("undecodable call: ") + e.what());
+        continue;
+      }
       ctx.executor->execute([this, machine_id, call] {
         execute_call(machine_id, std::move(*call));
       });
       continue;
     }
-    // A reply: wake the caller blocked on this sequence number.
+    // A reply: wake the caller blocked on this sequence number.  A reply
+    // nobody is waiting for (stray duplicate, or the caller already timed
+    // out) is dropped and counted, never fatal.
     PendingReply rep;
     rep.is_local = false;
-    const std::uint32_t seq = env->msg.header.seq;
+    const std::uint32_t seq = h.seq;
     rep.msg = std::move(env->msg);
-    fulfill_pending(ctx, seq, std::move(rep));
+    if (!try_fulfill_pending(ctx, seq, std::move(rep))) {
+      ctx.stats.count_stray_reply();
+    }
   }
 }
 
@@ -437,6 +581,9 @@ RmiSystem::DecodedCall RmiSystem::decode_call(std::uint16_t machine_id,
     // Guard against concurrent executions of this unmarshaler (Fig. 13:
     // "temp_arr = null" while in use).
     std::fill(call.slot->cached.begin(), call.slot->cached.end(), nullptr);
+    // The slot is detached: if the decode throws mid-argument, the reader
+    // must release the old graphs (even ones the stream never reached).
+    reader.adopt_cache_roots(cached);
   }
   for (std::size_t i = 0; i < call.args.size(); ++i) {
     if (site.heavy) {
@@ -461,20 +608,30 @@ void RmiSystem::execute_call(std::uint16_t machine_id, DecodedCall call) {
   m.clock().advance(SimTime::nanos(cluster_.cost().upcall_dispatch_ns));
 
   om::ObjRef self = nullptr;
+  bool bad_export = false;
   {
     std::scoped_lock lock(ctx.exports_mu);
-    RMIOPT_CHECK(call.target_export < ctx.exports.size(),
-                 "unknown export id");
-    self = ctx.exports[call.target_export];
+    // Externally-derived index: a bad export id becomes a remote
+    // exception at the caller, not a callee abort.
+    if (call.target_export < ctx.exports.size()) {
+      self = ctx.exports[call.target_export];
+    } else {
+      bad_export = true;
+    }
   }
   const ReplyToken token{call.callsite_id, call.seq, call.source,
                          machine_id};
   CallContext cc(*this, m, self, token);
   HandlerResult res;
-  try {
-    res = methods_[site.method_id].second(cc, call.scalars, call.args);
-  } catch (const Error& e) {
-    res = HandlerResult::exception(e.what());
+  if (bad_export) {
+    res = HandlerResult::exception("unknown export id " +
+                                   std::to_string(call.target_export));
+  } else {
+    try {
+      res = methods_[site.method_id].second(cc, call.scalars, call.args);
+    } catch (const Error& e) {
+      res = HandlerResult::exception(e.what());
+    }
   }
 
   // Reply first: the return value may alias the argument graphs, so the

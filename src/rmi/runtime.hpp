@@ -21,6 +21,7 @@
 // executes what the compiler produced.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
@@ -65,6 +66,17 @@ class RmiSystem;
 class RemoteException : public Error {
  public:
   explicit RemoteException(const std::string& what) : Error(what) {}
+};
+
+// Thrown at the caller when a remote call cannot complete: the link's ARQ
+// exhausted its retransmit budget (the callee is crashed or unreachable),
+// or the reply never arrived within the real-time backstop.  The call may
+// or may not have executed on the callee — at-most-once, not exactly-once
+// — so callers that retry must route around the failed machine (see the
+// webserver's failover) rather than blindly re-invoke.
+class RmiTimeout : public Error {
+ public:
+  explicit RmiTimeout(const std::string& what) : Error(what) {}
 };
 
 struct HandlerResult {
@@ -180,12 +192,25 @@ class RmiSystem {
     std::vector<om::ObjRef> cached;
   };
 
+  // Callee-side at-most-once record of one remote call: in progress until
+  // the reply is cached, then replayable verbatim for late duplicates.
+  struct ReplyCacheEntry {
+    bool replied = false;
+    wire::Message reply;
+  };
+
   struct MachineContext {
     RmiStats stats;
     std::vector<om::ObjRef> exports;
     std::mutex exports_mu;
     std::mutex pending_mu;
     std::unordered_map<std::uint32_t, std::promise<PendingReply>> pending;
+    // At-most-once state, keyed on call_key(caller, seq): every remote
+    // call this machine has accepted.  Bounded FIFO eviction — the window
+    // must outlive any plausible duplicate, not the whole run.
+    std::mutex amo_mu;
+    std::unordered_map<std::uint64_t, ReplyCacheEntry> reply_cache;
+    std::deque<std::uint64_t> reply_cache_order;
     // callsite id -> reuse state (callee side for args, caller side for ret)
     std::unordered_map<std::uint32_t, std::unique_ptr<ReuseSlot>> arg_cache;
     std::unordered_map<std::uint32_t, std::unique_ptr<ReuseSlot>> ret_cache;
@@ -232,13 +257,35 @@ class RmiSystem {
                                                std::uint32_t seq);
   void fulfill_pending(MachineContext& ctx, std::uint32_t seq,
                        PendingReply reply);
+  // Dispatcher-facing variant: a reply whose call is not pending (a stray
+  // from the network) is reported as false, never fatal.
+  bool try_fulfill_pending(MachineContext& ctx, std::uint32_t seq,
+                           PendingReply reply);
   PendingReply await_pending(MachineContext& ctx, std::uint32_t seq,
                              std::future<PendingReply> fut);
+
+  // ---- at-most-once ---------------------------------------------------------
+  static constexpr std::size_t kReplyCacheCapacity = 4096;
+  static constexpr std::uint64_t call_key(std::uint16_t caller,
+                                          std::uint32_t seq) {
+    return (static_cast<std::uint64_t>(caller) << 32) | seq;
+  }
+  enum class CallAdmission { Fresh, InProgress, Replied };
+  // Classifies an incoming Call against the reply cache; Fresh admits it
+  // (and records it in progress), Replied fills `*replay` with the cached
+  // reply message.
+  CallAdmission admit_call(MachineContext& ctx, std::uint64_t key,
+                           wire::Message* replay);
+  // Records the outgoing reply so a duplicate of its call can be answered
+  // by replay instead of re-execution.
+  void cache_reply(MachineContext& ctx, std::uint64_t key,
+                   const wire::Message& reply);
 
   void add_site_pass(std::uint32_t callsite_id, const serial::SerialStats& pass,
                      int local_rpcs = 0, int remote_rpcs = 0);
 
   net::Cluster& cluster_;
+  const ExecutorConfig exec_cfg_;
   serial::ClassPlanRegistry class_plans_;
   mutable std::mutex site_stats_mu_;
   std::unordered_map<std::uint32_t, RmiStatsSnapshot> site_stats_;

@@ -13,10 +13,22 @@ struct RmiStatsSnapshot {
   std::uint64_t remote_rpcs = 0;
   serial::SerialStats serial;
 
+  // Reliability counters (all zero on a healthy run).
+  std::uint64_t duplicate_calls = 0;    // calls suppressed by at-most-once
+  std::uint64_t replayed_replies = 0;   // cached replies re-sent verbatim
+  std::uint64_t stray_replies = 0;      // replies with no pending call
+  std::uint64_t call_timeouts = 0;      // invocations that raised RmiTimeout
+  std::uint64_t undeliverable_replies = 0;  // replies lost to a dead link
+
   RmiStatsSnapshot& operator+=(const RmiStatsSnapshot& o) {
     local_rpcs += o.local_rpcs;
     remote_rpcs += o.remote_rpcs;
     serial += o.serial;
+    duplicate_calls += o.duplicate_calls;
+    replayed_replies += o.replayed_replies;
+    stray_replies += o.stray_replies;
+    call_timeouts += o.call_timeouts;
+    undeliverable_replies += o.undeliverable_replies;
     return *this;
   }
 
@@ -42,6 +54,26 @@ class RmiStats {
   void add_pass(const serial::SerialStats& pass) {
     std::scoped_lock lock(mu_);
     snap_.serial += pass;
+  }
+  void count_duplicate_call() {
+    std::scoped_lock lock(mu_);
+    ++snap_.duplicate_calls;
+  }
+  void count_replayed_reply() {
+    std::scoped_lock lock(mu_);
+    ++snap_.replayed_replies;
+  }
+  void count_stray_reply() {
+    std::scoped_lock lock(mu_);
+    ++snap_.stray_replies;
+  }
+  void count_call_timeout() {
+    std::scoped_lock lock(mu_);
+    ++snap_.call_timeouts;
+  }
+  void count_undeliverable_reply() {
+    std::scoped_lock lock(mu_);
+    ++snap_.undeliverable_replies;
   }
 
   RmiStatsSnapshot snapshot() const {

@@ -19,7 +19,27 @@ om::ObjRef SerialReader::fresh_alloc(const om::ClassDescriptor& cls,
       cls.is_array ? heap_.alloc_array(cls, length) : heap_.alloc(cls);
   ++stats_.objects_allocated;
   stats_.bytes_allocated += sizeof(om::Object) + obj->payload_size();
+  fresh_.push_back(obj);
   return obj;
+}
+
+void SerialReader::adopt_cache_roots(std::span<const om::ObjRef> roots) {
+  for (om::ObjRef root : roots) om::collect_graph(root, cache_seen_);
+}
+
+void SerialReader::abandon_pass() {
+  for (om::ObjRef o : fresh_) {
+    heap_.free(o);
+    ++stats_.objects_freed;
+  }
+  for (om::ObjRef o : cache_seen_) {
+    heap_.free(o);
+    ++stats_.objects_freed;
+  }
+  fresh_.clear();
+  cache_seen_.clear();
+  consumed_.clear();
+  handles_.clear();
 }
 
 void SerialReader::note_handle(om::ObjRef obj, bool node_cycle_check) {
@@ -28,11 +48,27 @@ void SerialReader::note_handle(om::ObjRef obj, bool node_cycle_check) {
 }
 
 om::ObjRef SerialReader::read(ByteBuffer& in, const NodePlan& plan) {
-  return read_node(in, plan, nullptr, /*reuse=*/false);
+  try {
+    return read_node(in, plan, nullptr, /*reuse=*/false);
+  } catch (...) {
+    abandon_pass();
+    throw;
+  }
 }
 
 om::ObjRef SerialReader::read_reusing(ByteBuffer& in, const NodePlan& plan,
                                       om::ObjRef cached) {
+  try {
+    return read_reusing_impl(in, plan, cached);
+  } catch (...) {
+    abandon_pass();
+    throw;
+  }
+}
+
+om::ObjRef SerialReader::read_reusing_impl(ByteBuffer& in,
+                                           const NodePlan& plan,
+                                           om::ObjRef cached) {
   if (cached == nullptr) return read_node(in, plan, nullptr, /*reuse=*/true);
 
   // Enumerate the cached graph *before* the walk mutates its reference
@@ -46,6 +82,7 @@ om::ObjRef SerialReader::read_reusing(ByteBuffer& in, const NodePlan& plan,
       stack.pop_back();
       if (!seen.insert(o).second) continue;
       cache_nodes.push_back(o);
+      cache_seen_.insert(o);
       const om::ClassDescriptor& cls = o->cls();
       if (cls.is_array) {
         if (cls.elem_kind == om::TypeKind::Ref) {
@@ -69,6 +106,7 @@ om::ObjRef SerialReader::read_reusing(ByteBuffer& in, const NodePlan& plan,
       if (consumed_.contains(o)) continue;
       heap_.free(o);
       ++stats_.objects_freed;
+      cache_seen_.erase(o);  // released; must not be freed again on abandon
     }
   }
   return result;
@@ -188,6 +226,15 @@ om::ObjRef SerialReader::read_body(ByteBuffer& in, const NodePlan& body,
 }
 
 om::ObjRef SerialReader::read_introspective(ByteBuffer& in) {
+  try {
+    return read_introspective_node(in);
+  } catch (...) {
+    abandon_pass();
+    throw;
+  }
+}
+
+om::ObjRef SerialReader::read_introspective_node(ByteBuffer& in) {
   const auto tag = static_cast<wire::ObjTag>(in.get_u8());
   if (tag == wire::kTagNull) return nullptr;
   if (tag == wire::kTagHandle) {
@@ -210,7 +257,7 @@ om::ObjRef SerialReader::read_introspective(ByteBuffer& in) {
     handles_.push_back(obj);
     if (cls->elem_kind == om::TypeKind::Ref) {
       for (std::uint32_t i = 0; i < length; ++i) {
-        obj->set_elem_ref(i, read_introspective(in));
+        obj->set_elem_ref(i, read_introspective_node(in));
       }
     } else {
       in.get_bytes(obj->payload(), obj->payload_size());
@@ -223,7 +270,7 @@ om::ObjRef SerialReader::read_introspective(ByteBuffer& in) {
   for (const auto& f : cls->fields) {
     ++stats_.introspected_fields;
     if (f.kind == om::TypeKind::Ref) {
-      obj->set_ref(f, read_introspective(in));
+      obj->set_ref(f, read_introspective_node(in));
     } else {
       in.get_bytes(obj->payload() + f.offset, size_of(f.kind));
       ++stats_.fields_marshaled;

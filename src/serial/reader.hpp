@@ -9,6 +9,7 @@
 // check and the fresh-allocation fallback on mismatch).
 #pragma once
 
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -38,9 +39,23 @@ class SerialReader {
   // Deserializes a HEAVY (introspective) stream.
   om::ObjRef read_introspective(ByteBuffer& in);
 
+  // Registers cached graphs that this pass *may* consume via read_reusing.
+  // Once a reuse slot has been detached (nulled against concurrent use),
+  // the reader is the only owner of the old graphs; registering them up
+  // front lets an abandoned pass release graphs the stream never reached.
+  void adopt_cache_roots(std::span<const om::ObjRef> roots);
+
  private:
   om::ObjRef read_node(ByteBuffer& in, const NodePlan& plan,
                        om::ObjRef cached, bool reuse);
+  om::ObjRef read_reusing_impl(ByteBuffer& in, const NodePlan& plan,
+                               om::ObjRef cached);
+  om::ObjRef read_introspective_node(ByteBuffer& in);
+
+  // Releases everything this pass owns — fresh allocations and adopted
+  // cache nodes.  Called when a decode pass throws on corrupt input: the
+  // partially-built graph is unreachable, so the reader must unwind it.
+  void abandon_pass();
   om::ObjRef read_body(ByteBuffer& in, const NodePlan& body,
                        const om::ClassDescriptor& cls, bool node_cycle_check,
                        om::ObjRef cached, bool reuse);
@@ -53,7 +68,9 @@ class SerialReader {
   SerialStats& stats_;
   const bool cycle_enabled_;
   std::vector<om::ObjRef> handles_;
-  std::unordered_set<om::ObjRef> consumed_;  // reused cache nodes
+  std::unordered_set<om::ObjRef> consumed_;    // reused cache nodes
+  std::vector<om::ObjRef> fresh_;              // allocated by this pass
+  std::unordered_set<om::ObjRef> cache_seen_;  // adopted cache nodes, alive
 };
 
 }  // namespace rmiopt::serial

@@ -48,6 +48,7 @@ class ByteBuffer {
   }
 
   void put_bytes(const void* data, std::size_t len) {
+    if (len == 0) return;  // empty spans may carry data() == nullptr
     const std::size_t old = bytes_.size();
     bytes_.resize(old + len);
     std::memcpy(bytes_.data() + old, data, len);
@@ -98,14 +99,17 @@ class ByteBuffer {
   }
 
   void get_bytes(void* out, std::size_t len) {
-    RMIOPT_CHECK(read_pos_ + len <= bytes_.size(), "ByteBuffer underflow");
+    // `len <= size - pos` (not `pos + len <= size`): a corrupted length can
+    // be large enough to wrap the addition.
+    RMIOPT_CHECK(len <= bytes_.size() - read_pos_, "ByteBuffer underflow");
+    if (len == 0) return;  // empty spans may carry data() == nullptr
     std::memcpy(out, bytes_.data() + read_pos_, len);
     read_pos_ += len;
   }
 
   std::string get_string() {
     const std::size_t len = get_varint();
-    RMIOPT_CHECK(read_pos_ + len <= bytes_.size(), "string underflow");
+    RMIOPT_CHECK(len <= bytes_.size() - read_pos_, "string underflow");
     std::string s(reinterpret_cast<const char*>(bytes_.data() + read_pos_),
                   len);
     read_pos_ += len;

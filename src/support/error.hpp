@@ -4,6 +4,17 @@
 // errors and protocol violations.  `RMIOPT_CHECK` is used for internal
 // invariants that indicate a bug if violated; it is always on (the checks
 // guard correctness of the serializers, not hot inner loops).
+//
+// Two typed subclasses separate *recoverable* failures on
+// externally-derived data from programmer errors, so callers can fail
+// closed instead of aborting:
+//  * DecodeError — a byte image (frame, payload) is truncated, corrupted
+//    or otherwise malformed.  Thrown by wire::decode_frame and the
+//    deserializers; a receiver rejects the input and keeps running.
+//  * ProtocolError — a peer misbehaved at the protocol level (a link gave
+//    up after exhausting retransmits, a message violates the session
+//    state machine).  The reliability layer converts these into dropped
+//    traffic, counters, or rmi::RmiTimeout at the call boundary.
 #pragma once
 
 #include <stdexcept>
@@ -14,6 +25,18 @@ namespace rmiopt {
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Malformed or corrupted externally-derived bytes: reject, don't abort.
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error(what) {}
+};
+
+// A peer or link violated the protocol (e.g. retransmits exhausted).
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
 };
 
 [[noreturn]] inline void fail(const std::string& msg) { throw Error(msg); }

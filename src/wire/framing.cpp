@@ -1,10 +1,16 @@
 #include "wire/framing.hpp"
 
 #include "support/error.hpp"
+#include "support/hash.hpp"
 
 namespace rmiopt::wire {
 
 namespace {
+
+std::uint32_t image_checksum(const std::uint8_t* data, std::size_t len) {
+  const std::uint64_t h = fnv1a(data, len);
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
 
 void encode_message(ByteBuffer& out, const Message& msg) {
   out.put_u8(static_cast<std::uint8_t>(msg.header.kind));
@@ -37,28 +43,25 @@ Message decode_message(ByteBuffer& in) {
   return msg;
 }
 
-}  // namespace
-
-ByteBuffer encode_frame(const Frame& frame) {
-  RMIOPT_CHECK(!frame.messages.empty(), "cannot encode an empty frame");
-  ByteBuffer out;
-  if (frame.messages.size() == 1) {
-    out.put_u8(kSingleFrameTag);
-    out.put_varint(frame.link_seq);
-    encode_message(out, frame.messages.front());
-  } else {
-    out.put_u8(kBatchFrameTag);
-    out.put_varint(frame.link_seq);
-    out.put_varint(frame.messages.size());
-    for (const Message& m : frame.messages) encode_message(out, m);
+Frame decode_frame_body(ByteBuffer& buf) {
+  if (buf.remaining() == 0) {
+    throw DecodeError("truncated frame: empty image");
   }
-  return out;
-}
-
-Frame decode_frame(ByteBuffer& buf) {
-  RMIOPT_CHECK(buf.remaining() > 0, "truncated frame: empty image");
-  Frame frame;
   const std::uint8_t tag = buf.get_u8();
+  if (tag != kSingleFrameTag && tag != kBatchFrameTag) {
+    throw DecodeError("unknown frame tag");
+  }
+  // Verify the checksum over the whole remainder before trusting a single
+  // length or kind field of it.
+  const std::uint32_t declared = buf.get_u32();
+  const auto bytes = buf.contents();
+  const std::uint32_t actual =
+      image_checksum(bytes.data() + buf.read_pos(), buf.remaining());
+  if (declared != actual) {
+    throw DecodeError("frame checksum mismatch: image corrupted in transit");
+  }
+
+  Frame frame;
   frame.link_seq = buf.get_varint();
   std::uint64_t count = 1;
   if (tag == kBatchFrameTag) {
@@ -68,14 +71,47 @@ Frame decode_frame(ByteBuffer& buf) {
     // the remaining image cannot possibly satisfy before allocating.
     RMIOPT_CHECK(count <= buf.remaining() / 17 + 1,
                  "truncated frame: batch count exceeds image");
-  } else {
-    RMIOPT_CHECK(tag == kSingleFrameTag, "unknown frame tag");
   }
   frame.messages.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     frame.messages.push_back(decode_message(buf));
   }
+  RMIOPT_CHECK(buf.remaining() == 0,
+               "malformed frame: trailing bytes after last message");
   return frame;
+}
+
+}  // namespace
+
+ByteBuffer encode_frame(const Frame& frame) {
+  RMIOPT_CHECK(!frame.messages.empty(), "cannot encode an empty frame");
+  ByteBuffer body;
+  body.put_varint(frame.link_seq);
+  if (frame.messages.size() == 1) {
+    encode_message(body, frame.messages.front());
+  } else {
+    body.put_varint(frame.messages.size());
+    for (const Message& m : frame.messages) encode_message(body, m);
+  }
+  ByteBuffer out;
+  out.put_u8(frame.messages.size() == 1 ? kSingleFrameTag : kBatchFrameTag);
+  const auto body_bytes = body.contents();
+  out.put_u32(image_checksum(body_bytes.data(), body_bytes.size()));
+  out.put_bytes(body_bytes.data(), body_bytes.size());
+  return out;
+}
+
+Frame decode_frame(ByteBuffer& buf) {
+  // Untrusted input: collapse every failure mode (underflow, bad varint,
+  // unknown kind, checksum mismatch) into the one typed, recoverable
+  // error the reliability layer handles.
+  try {
+    return decode_frame_body(buf);
+  } catch (const DecodeError&) {
+    throw;
+  } catch (const Error& e) {
+    throw DecodeError(e.what());
+  }
 }
 
 }  // namespace rmiopt::wire

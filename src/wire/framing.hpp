@@ -8,6 +8,7 @@
 // padding and a decoder can detect truncation:
 //
 //   frame   := tag u8            (kSingleFrameTag | kBatchFrameTag)
+//              checksum u32      (FNV-1a over every following byte)
 //              link_seq varint   (per directed src->dst link, from 0)
 //              count    varint   (batch frames only)
 //              count x message
@@ -15,6 +16,12 @@
 //              callsite_id u32, target_export u32, seq u32
 //              source u16, dest u16
 //              payload_len varint, payload bytes
+//
+// The checksum makes corruption *detectable*: a receiver verifies it
+// before trusting any length or kind field, rejects the frame with a
+// DecodeError, and NACKs so the sender retransmits — a corrupted frame is
+// never decoded into the runtime.  decode_frame throws only typed errors
+// (rmiopt::DecodeError) on any malformed input; it never aborts.
 //
 // Note the *charged* size of a message on the simulated wire stays
 // Message::wire_size() (header struct + payload) for cost-model and
@@ -53,8 +60,10 @@ struct Frame {
 // at least one message.
 ByteBuffer encode_frame(const Frame& frame);
 
-// Parses a byte image produced by encode_frame, consuming from `buf`'s
-// read cursor.  Throws rmiopt::Error on an unknown frame tag or a
+// Parses a byte image produced by encode_frame, consuming the rest of
+// `buf` from its read cursor (the checksum covers everything up to the
+// end, so one buffer carries exactly one frame).  Throws
+// rmiopt::DecodeError on an unknown tag, a checksum mismatch, or a
 // truncated/malformed image.
 Frame decode_frame(ByteBuffer& buf);
 

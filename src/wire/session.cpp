@@ -1,5 +1,7 @@
 #include "wire/session.hpp"
 
+#include <string>
+
 #include "support/error.hpp"
 
 namespace rmiopt::wire {
@@ -15,7 +17,30 @@ void Session::seal_and_emit(const FrameSink& sink) {
   frame.link_seq = next_link_seq_++;
   frame.messages = std::move(queue_);
   queue_.clear();
-  sink(std::move(frame));
+
+  // Stop-and-wait ARQ.  The sink's return value is the (implicit) ACK or
+  // NACK; the waiting it stands for is charged in virtual time.  A
+  // healthy link delivers on the first attempt and pays nothing here.
+  std::size_t doublings = 0;
+  for (std::size_t attempt = 0;; ++attempt) {
+    const SendOutcome out = sink(frame);
+    if (out == SendOutcome::Delivered) return;
+    if (attempt >= cfg_.max_retransmits) {
+      throw ProtocolError(
+          "link " + std::to_string(src_) + "->" + std::to_string(dst_) +
+          " dead: frame " + std::to_string(frame.link_seq) +
+          " undelivered after " + std::to_string(attempt + 1) + " attempts");
+    }
+    ++retransmits_;
+    if (out == SendOutcome::Nacked) {
+      // The receiver told us promptly; pay one control round trip.
+      if (charge_) charge_(cfg_.nack_turnaround_ns);
+    } else {
+      // Silence: wait out the timer, backing off exponentially.
+      if (charge_) charge_(cfg_.retransmit_timeout_ns << doublings);
+      if (doublings < cfg_.max_backoff_doublings) ++doublings;
+    }
+  }
 }
 
 void Session::post(Message msg, const FrameSink& sink) {
@@ -39,6 +64,11 @@ void Session::flush(const FrameSink& sink) {
 std::size_t Session::queued() const {
   std::scoped_lock lock(mu_);
   return queue_.size();
+}
+
+std::uint64_t Session::retransmits() const {
+  std::scoped_lock lock(mu_);
+  return retransmits_;
 }
 
 }  // namespace rmiopt::wire

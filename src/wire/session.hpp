@@ -1,27 +1,39 @@
 // The session layer: one Session per directed machine-to-machine link.
 //
 // Sits between the RMI runtime (which produces wire::Messages) and the
-// transport (which moves Frames).  The session owns two link-level
+// transport (which moves Frames).  The session owns three link-level
 // concerns the transport and the runtime should not care about:
 //
 //  * sequencing — every frame carries a per-link sequence number, stamped
-//    here and validated by byte-oriented transports on receive, so
-//    reordering bugs surface immediately;
+//    here; receivers run the sequence through a DedupWindow so duplicated
+//    and stale (reordered) frames are discarded instead of redelivered;
 //  * batched send queues — the §3.1 ACK optimization generalized: small
 //    reply/ACK messages may be held back and coalesced into one frame
 //    with the next flush trigger, paying the per-message network latency
 //    and GM send-descriptor cost once per *frame* instead of once per
-//    message.
+//    message;
+//  * reliability — a stop-and-wait ARQ: the sink reports whether the
+//    frame was delivered (implicit ACK), timed out (lost in transit), or
+//    was NACKed (the receiver's checksum rejected it); the session
+//    charges the virtual retransmit timer — exponential backoff for
+//    timeouts, one control round trip for NACKs — and retransmits until
+//    the frame lands or `max_retransmits` is exhausted, at which point it
+//    declares the link dead with a ProtocolError.
 //
 // Coalescing is OFF by default (max_batch_messages = 1): the paper's
 // model sends every message immediately, and synchronous RMI callers
 // block on their replies, so holding a reply back is only sound when the
-// application keeps several calls in flight or flushes explicitly.
+// application keeps several calls in flight or flushes explicitly.  With
+// a fault-free transport the ARQ is pure pass-through: every frame is
+// delivered on the first attempt and no timer is ever charged, so the
+// paper's deterministic numbers are untouched bit for bit.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <set>
 
 #include "wire/framing.hpp"
 
@@ -36,25 +48,55 @@ struct SessionConfig {
   // flush triggers and leave in the same frame as anything queued.
   std::size_t max_batch_payload = 256;
 
+  // ---- reliability (stop-and-wait ARQ) ------------------------------------
+  // Retransmits per frame before the link is declared dead.
+  std::size_t max_retransmits = 10;
+  // Initial virtual retransmit timer; doubles per consecutive timeout up
+  // to `max_backoff_doublings` (≈ 2 * one-way latency + dispatch slack on
+  // the modelled GM network).
+  std::int64_t retransmit_timeout_ns = 60'000;
+  std::size_t max_backoff_doublings = 4;
+  // Virtual cost of a NACK round trip (the receiver rejected a corrupted
+  // frame and said so; the sender need not wait out the full timer).
+  std::int64_t nack_turnaround_ns = 30'000;
+
   bool batching() const { return max_batch_messages > 1; }
 };
 
+// What became of one transmission attempt of a frame.  The simulated
+// network is synchronous, so the acknowledgement that a real link would
+// carry as a control frame is modelled as the sink's return value; the
+// *cost* of waiting for it is charged in virtual time by the session.
+enum class SendOutcome {
+  Delivered,  // frame reached the receiver intact (implicit ACK)
+  Timeout,    // frame (or its ACK) lost; sender waits out the timer
+  Nacked,     // receiver rejected a corrupted frame and NACKed promptly
+};
+
 // Receives sealed frames under the session lock, so frames of one link
-// reach the transport in link_seq order.
-using FrameSink = std::function<void(Frame)>;
+// reach the transport in link_seq order.  Called repeatedly with the
+// *same* frame on retransmission.
+using FrameSink = std::function<SendOutcome(const Frame&)>;
+
+// Charges virtual nanoseconds to the sending machine's clock (the
+// session is a wire-layer object and has no machine of its own).
+using ChargeFn = std::function<void(std::int64_t)>;
 
 class Session {
  public:
-  Session(std::uint16_t src, std::uint16_t dst, const SessionConfig& cfg)
-      : src_(src), dst_(dst), cfg_(cfg) {}
+  Session(std::uint16_t src, std::uint16_t dst, const SessionConfig& cfg,
+          ChargeFn charge = nullptr)
+      : src_(src), dst_(dst), cfg_(cfg), charge_(std::move(charge)) {}
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
   std::uint16_t src() const { return src_; }
   std::uint16_t dst() const { return dst_; }
 
-  // Queues `msg` and emits zero or more ready frames into `sink`.  With
-  // batching off every post emits exactly one single-message frame.
+  // Queues `msg` and emits zero or more ready frames into `sink`,
+  // retransmitting each until the sink reports delivery.  With batching
+  // off every post emits exactly one single-message frame.  Throws
+  // ProtocolError when a frame exhausts its retransmit budget.
   void post(Message msg, const FrameSink& sink);
 
   // Forces any held-back messages out as one frame.
@@ -63,6 +105,9 @@ class Session {
   // Messages currently held in the coalescing queue (introspection).
   std::size_t queued() const;
 
+  // Frames this session had to retransmit (0 on a healthy link).
+  std::uint64_t retransmits() const;
+
  private:
   bool coalescible(const Message& msg) const;
   void seal_and_emit(const FrameSink& sink);  // callers hold mu_
@@ -70,10 +115,50 @@ class Session {
   const std::uint16_t src_;
   const std::uint16_t dst_;
   const SessionConfig cfg_;
+  const ChargeFn charge_;
 
   mutable std::mutex mu_;
   std::uint64_t next_link_seq_ = 0;
+  std::uint64_t retransmits_ = 0;
   std::vector<Message> queue_;
+};
+
+// Receive-side companion of the session's link sequencing: a sliding
+// window that classifies each arriving link_seq.  Fresh sequences are
+// delivered; duplicates (an ARQ retransmit of something already received,
+// or an injected duplicate) and stale sequences (a reordered copy
+// arriving after the window moved past it) are discarded by the
+// transport and only counted.  One instance per directed link, owned by
+// the receiving machine.
+class DedupWindow {
+ public:
+  enum class Verdict { Fresh, Duplicate, Stale };
+
+  explicit DedupWindow(std::size_t capacity = 512) : capacity_(capacity) {}
+
+  Verdict accept(std::uint64_t seq) {
+    if (seq < horizon_) return Verdict::Stale;
+    if (!seen_.insert(seq).second) return Verdict::Duplicate;
+    // Advance the horizon over any now-contiguous prefix, then bound the
+    // out-of-order set by sliding the horizon forcibly.
+    while (!seen_.empty() && *seen_.begin() == horizon_) {
+      seen_.erase(seen_.begin());
+      ++horizon_;
+    }
+    while (seen_.size() > capacity_) {
+      horizon_ = *seen_.begin() + 1;
+      seen_.erase(seen_.begin());
+    }
+    return Verdict::Fresh;
+  }
+
+  // Everything below this sequence was delivered or declared stale.
+  std::uint64_t horizon() const { return horizon_; }
+
+ private:
+  const std::size_t capacity_;
+  std::uint64_t horizon_ = 0;
+  std::set<std::uint64_t> seen_;  // received seqs at/above the horizon
 };
 
 }  // namespace rmiopt::wire

@@ -39,7 +39,9 @@ struct RandomProgram {
       std::vector<om::FieldSpec> fields;
       const int prims = static_cast<int>(rng.next_below(3));
       for (int p = 0; p < prims; ++p) {
-        fields.push_back({"p" + std::to_string(p),
+        std::string pname = "p";
+        pname += std::to_string(p);
+        fields.push_back({pname,
                           rng.next_below(2) ? om::TypeKind::Long
                                             : om::TypeKind::Double,
                           om::kNoClass});
@@ -47,13 +49,17 @@ struct RandomProgram {
       if (c > 0) {
         const int refs = static_cast<int>(rng.next_below(3));
         for (int r = 0; r < refs; ++r) {
-          fields.push_back(
-              {"r" + std::to_string(r), om::TypeKind::Ref,
-               classes[rng.next_below(classes.size())]});
+          // Built with += rather than `"r" + std::to_string(r)`: GCC 12's
+          // -Wrestrict false-positives on char*+string&& once inlined.
+          std::string fname = "r";
+          fname += std::to_string(r);
+          fields.push_back({fname, om::TypeKind::Ref,
+                            classes[rng.next_below(classes.size())]});
         }
       }
-      classes.push_back(
-          types->define_class("C" + std::to_string(c), fields));
+      std::string cname = "C";
+      cname += std::to_string(c);
+      classes.push_back(types->define_class(cname, fields));
     }
     root_class = classes.back();
 

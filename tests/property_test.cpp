@@ -312,9 +312,9 @@ TEST_P(CorruptionP, TruncatedStreamsThrowNeverCrash) {
     SerialReader r(u.class_plans, u.heap, rs, true);
     ObjRef partial = nullptr;
     EXPECT_THROW(partial = r.read(truncated, *root), Error) << "cut=" << cut;
-    // Whatever was allocated before the failure is released by the test
-    // (a real runtime would drop the message and let GC reclaim).
     if (partial != nullptr) u.heap.free_graph(partial);
+    // A failed pass unwinds its own allocations (exception-safe decode).
+    EXPECT_EQ(rs.objects_allocated, rs.objects_freed) << "cut=" << cut;
   }
   u.heap.free_graph(g);
 }
@@ -346,7 +346,9 @@ TEST_P(CorruptionP, BitFlipsThrowOrProduceWellFormedGraphs) {
       om::graph_object_count(copy);
       u.heap.free_graph(copy);
     } catch (const Error&) {
-      // Structural corruption must surface as Error, never UB.
+      // Structural corruption must surface as Error, never UB — and the
+      // failed pass must have unwound everything it allocated.
+      EXPECT_EQ(rs.objects_allocated, rs.objects_freed) << "trial=" << trial;
     }
   }
   u.heap.free_graph(g);

@@ -136,7 +136,10 @@ TEST(Framing, EmptyFrameCannotBeEncoded) {
 TEST(Session, UnbatchedPostEmitsImmediatelyWithIncreasingLinkSeq) {
   Session s(0, 1, SessionConfig{});
   std::vector<Frame> frames;
-  const FrameSink sink = [&](Frame f) { frames.push_back(std::move(f)); };
+  const FrameSink sink = [&](const Frame& f) {
+    frames.push_back(f);
+    return SendOutcome::Delivered;
+  };
   for (std::uint32_t i = 0; i < 3; ++i) {
     s.post(make_msg(MsgKind::Call, 0, 1, 0, i), sink);
   }
@@ -151,7 +154,7 @@ TEST(Session, UnbatchedPostEmitsImmediatelyWithIncreasingLinkSeq) {
 
 TEST(Session, WrongLinkIsRejected) {
   Session s(0, 1, SessionConfig{});
-  const FrameSink sink = [](Frame) {};
+  const FrameSink sink = [](const Frame&) { return SendOutcome::Delivered; };
   EXPECT_THROW(s.post(make_msg(MsgKind::Call, 0, 2, 0), sink), Error);
   EXPECT_THROW(s.post(make_msg(MsgKind::Call, 1, 0, 0), sink), Error);
 }
@@ -161,7 +164,10 @@ TEST(Session, SmallRepliesAreHeldUntilTheBatchFills) {
   cfg.max_batch_messages = 3;
   Session s(1, 0, cfg);
   std::vector<Frame> frames;
-  const FrameSink sink = [&](Frame f) { frames.push_back(std::move(f)); };
+  const FrameSink sink = [&](const Frame& f) {
+    frames.push_back(f);
+    return SendOutcome::Delivered;
+  };
 
   s.post(make_msg(MsgKind::Ack, 1, 0, 0, 0), sink);
   s.post(make_msg(MsgKind::Ack, 1, 0, 0, 1), sink);
@@ -179,7 +185,10 @@ TEST(Session, CallFlushesTheQueueInOneFifoFrame) {
   cfg.max_batch_messages = 8;
   Session s(0, 1, cfg);
   std::vector<Frame> frames;
-  const FrameSink sink = [&](Frame f) { frames.push_back(std::move(f)); };
+  const FrameSink sink = [&](const Frame& f) {
+    frames.push_back(f);
+    return SendOutcome::Delivered;
+  };
 
   s.post(make_msg(MsgKind::Ack, 0, 1, 0, 0), sink);
   s.post(make_msg(MsgKind::Return, 0, 1, 8, 1), sink);
@@ -200,7 +209,10 @@ TEST(Session, BulkyReplyIsNotHeldBack) {
   cfg.max_batch_payload = 16;
   Session s(0, 1, cfg);
   std::vector<Frame> frames;
-  const FrameSink sink = [&](Frame f) { frames.push_back(std::move(f)); };
+  const FrameSink sink = [&](const Frame& f) {
+    frames.push_back(f);
+    return SendOutcome::Delivered;
+  };
 
   s.post(make_msg(MsgKind::Return, 0, 1, 64), sink);  // over the threshold
   ASSERT_EQ(frames.size(), 1u);
@@ -212,7 +224,10 @@ TEST(Session, ExplicitFlushSealsPartialBatches) {
   cfg.max_batch_messages = 8;
   Session s(0, 1, cfg);
   std::vector<Frame> frames;
-  const FrameSink sink = [&](Frame f) { frames.push_back(std::move(f)); };
+  const FrameSink sink = [&](const Frame& f) {
+    frames.push_back(f);
+    return SendOutcome::Delivered;
+  };
 
   s.post(make_msg(MsgKind::Ack, 0, 1, 0, 0), sink);
   s.post(make_msg(MsgKind::Ack, 0, 1, 0, 1), sink);
