@@ -16,6 +16,8 @@
 #include "codegen/opt_level.hpp"
 #include "support/error.hpp"
 #include "support/table.hpp"
+#include "trace/profile.hpp"
+#include "trace/recorder.hpp"
 
 namespace rmiopt::bench {
 
@@ -102,6 +104,32 @@ inline void print_paper_reference(const std::string& caption,
   std::printf("--- paper reference: %s ---\n", caption.c_str());
   for (const auto& l : lines) std::printf("  %s\n", l.c_str());
   std::printf("\n");
+}
+
+// ---- tracing ---------------------------------------------------------------
+
+// Prints the per-call-site profile (invocations, p50/p95/max virtual
+// latency, bytes, reuse/cycle activity) built from a recorded trace.
+inline void print_callsite_profile(const std::string& title,
+                                   const trace::MemoryRecorder& recorder,
+                                   const trace::CallsiteNameFn& name = {}) {
+  const auto rows = trace::build_profile(recorder.events());
+  std::printf("%s\n%s\n", title.c_str(),
+              trace::render_profile(rows, name).c_str());
+}
+
+// Writes the recorded trace as Chrome trace_event JSON (load in
+// chrome://tracing or ui.perfetto.dev).  Returns false when the file
+// cannot be written.
+inline bool write_chrome_trace(const std::string& path,
+                               const trace::MemoryRecorder& recorder,
+                               const trace::CallsiteNameFn& name = {}) {
+  const std::string json = trace::chrome_trace_json(recorder.events(), name);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
 }
 
 }  // namespace rmiopt::bench

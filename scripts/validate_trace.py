@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by trace::chrome_trace_json.
+
+Checks, in order:
+  1. the file is valid JSON with a non-empty ``traceEvents`` array;
+  2. every event carries the required trace_event fields for its phase
+     (``M`` metadata, ``X`` complete spans, ``i`` instants);
+  3. every track (pid, tid) has a ``thread_name`` metadata record;
+  4. timestamps and durations are non-negative, and within each track the
+     ``ts`` of timed events is monotonically non-decreasing — virtual
+     time never runs backwards on a machine or link track.
+
+Usage: validate_trace.py TRACE.json
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg: str) -> None:
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: validate_trace.py TRACE.json")
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    named_tracks = set()
+    last_ts = defaultdict(lambda: None)
+    counts = defaultdict(int)
+
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        counts[ph] += 1
+        if ph not in ("M", "X", "i"):
+            fail(f"event {i}: unexpected phase {ph!r}")
+        if "pid" not in e or "tid" not in e:
+            fail(f"event {i}: missing pid/tid")
+        track = (e["pid"], e["tid"])
+        if ph == "M":
+            if e.get("name") != "thread_name" or "name" not in e.get("args", {}):
+                fail(f"event {i}: malformed metadata record")
+            named_tracks.add(track)
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"event {i}: bad ts {ts!r}")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"event {i}: bad dur {dur!r}")
+        if track not in named_tracks:
+            fail(f"event {i}: track {track} has no thread_name metadata")
+        prev = last_ts[track]
+        if prev is not None and ts < prev:
+            fail(f"event {i}: ts {ts} < {prev} on track {track} "
+                 "(virtual time ran backwards)")
+        last_ts[track] = ts
+
+    if counts["X"] == 0:
+        fail("no complete ('X') spans recorded")
+    print(f"validate_trace: OK: {len(events)} events "
+          f"({counts['M']} tracks, {counts['X']} spans, {counts['i']} instants) "
+          f"across {len(named_tracks)} named tracks")
+
+
+if __name__ == "__main__":
+    main()

@@ -58,6 +58,7 @@ RunResult run_lu(codegen::OptLevel level, const LuConfig& cfg) {
 
   net::Cluster cluster(P, *model.types, cfg.cost, cfg.transport, {},
                        cfg.faults);
+  if (cfg.recorder != nullptr) cluster.set_recorder(cfg.recorder);
   rmi::RmiSystem sys(cluster, *model.types,
                      rmi::ExecutorConfig{cfg.dispatch_workers});
   // The JavaParty runtime's own bootstrap RMIs use generic class-mode

@@ -27,6 +27,8 @@ struct LuConfig {
   net::TransportKind transport = net::TransportKind::Sim;
   std::size_t dispatch_workers = 1;  // RMI handler pool per machine
   net::FaultPlan faults{};     // seeded fault injection (inert by default)
+  // Optional trace recorder (nullptr = tracing off, zero overhead).
+  trace::Recorder* recorder = nullptr;
 };
 
 // RunResult::check is the maximum |L·U - A| residual entry (machine 0's

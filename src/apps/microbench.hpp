@@ -23,6 +23,8 @@ struct ListBenchConfig {
   net::TransportKind transport = net::TransportKind::Sim;
   std::size_t dispatch_workers = 1;
   net::FaultPlan faults{};  // seeded fault injection (inert by default)
+  // Optional trace recorder (nullptr = tracing off, zero overhead).
+  trace::Recorder* recorder = nullptr;
 };
 
 RunResult run_list_bench(codegen::OptLevel level,
@@ -40,6 +42,8 @@ struct ArrayBenchConfig {
   net::TransportKind transport = net::TransportKind::Sim;
   std::size_t dispatch_workers = 1;
   net::FaultPlan faults{};  // seeded fault injection (inert by default)
+  // Optional trace recorder (nullptr = tracing off, zero overhead).
+  trace::Recorder* recorder = nullptr;
 };
 
 RunResult run_array_bench(codegen::OptLevel level,

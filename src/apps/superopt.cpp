@@ -122,6 +122,7 @@ RunResult run_superopt(codegen::OptLevel level, const SuperoptConfig& cfg) {
 
   net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport,
                        {}, cfg.faults);
+  if (cfg.recorder != nullptr) cluster.set_recorder(cfg.recorder);
   rmi::RmiSystem sys(cluster, *model.types,
                      rmi::ExecutorConfig{cfg.dispatch_workers});
   // JavaParty runtime bootstrap (class-mode stubs): the residual cycle

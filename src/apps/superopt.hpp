@@ -51,6 +51,8 @@ struct SuperoptConfig {
   net::TransportKind transport = net::TransportKind::Sim;
   std::size_t dispatch_workers = 1;
   net::FaultPlan faults{};     // seeded fault injection (inert by default)
+  // Optional trace recorder (nullptr = tracing off, zero overhead).
+  trace::Recorder* recorder = nullptr;
 };
 
 // RunResult::check = number of equivalent sequences found (deterministic

@@ -31,6 +31,7 @@ RunResult run_webserver(codegen::OptLevel level, const WebserverConfig& cfg) {
 
   net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport,
                        {}, cfg.faults);
+  if (cfg.recorder != nullptr) cluster.set_recorder(cfg.recorder);
   rmi::RmiSystem sys(cluster, *model.types,
                      rmi::ExecutorConfig{cfg.dispatch_workers,
                                          cfg.call_timeout_ms});

@@ -28,6 +28,8 @@ struct WebserverConfig {
   // Real-time backstop per blocked call (forwarded to the RMI runtime;
   // virtual-time failures do not wait on it).
   std::int64_t call_timeout_ms = 30'000;
+  // Optional trace recorder (nullptr = tracing off, zero overhead).
+  trace::Recorder* recorder = nullptr;
 };
 
 // RunResult::check = total page bytes received by the master; a correct

@@ -76,7 +76,29 @@ void Cluster::shutdown() {
 NetworkStats::Snapshot Cluster::stats() const {
   NetworkStats::Snapshot total;
   total += transport_->stats();
+  for (const auto& m : machines_) {
+    const Machine::DedupCounters c = m->dedup_counters();
+    total.dedup_forced_slides += c.forced_slides;
+    total.dedup_late_recoveries += c.late_recoveries;
+    total.dedup_skipped_expired += c.skipped_expired;
+  }
   return total;
+}
+
+void Cluster::set_recorder(trace::Recorder* recorder) {
+  recorder_ = recorder;
+  transport_->set_recorder(recorder);
+  for (auto& m : machines_) m->set_recorder(recorder);
+  for (std::size_t s = 0; s < machines_.size(); ++s) {
+    for (std::size_t d = 0; d < machines_.size(); ++d) {
+      if (s == d) continue;
+      Machine& src = *machines_[s];
+      session(static_cast<std::uint16_t>(s), static_cast<std::uint16_t>(d))
+          .set_trace(recorder, [&src]() -> std::int64_t {
+            return src.clock().now().as_nanos();
+          });
+    }
+  }
 }
 
 SimTime Cluster::makespan() const {

@@ -51,12 +51,20 @@ class Cluster {
   // stop).
   void shutdown();
 
-  // Aggregated traffic over every transport this cluster drives.
+  // Aggregated traffic over every transport this cluster drives, plus
+  // the machines' receive-window health counters.
   NetworkStats::Snapshot stats() const;
 
   // The backend itself (per-transport stats, name).
   Transport& transport() { return *transport_; }
   const Transport& transport() const { return *transport_; }
+
+  // Attaches a trace recorder to every layer the cluster owns — machines
+  // (dedup verdicts), sessions (enqueue/frames/ARQ) and the transport
+  // (flights, injected faults).  nullptr detaches.  Call before traffic
+  // flows; the RMI runtime reads recorder() for its own spans.
+  void set_recorder(trace::Recorder* recorder);
+  trace::Recorder* recorder() const { return recorder_; }
 
   // Virtual makespan: the maximum clock across machines — the cluster-wide
   // "wall time" a benchmark reports.
@@ -66,6 +74,7 @@ class Cluster {
   wire::Session& session(std::uint16_t src, std::uint16_t dst);
 
   serial::CostModel cost_;
+  trace::Recorder* recorder_ = nullptr;
   std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<Machine>> machines_;
   // Directed links, indexed src * size() + dst; the src == dst diagonal

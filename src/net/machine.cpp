@@ -14,7 +14,41 @@ wire::DedupWindow::Verdict Machine::accept_link_seq(std::uint16_t src,
                                                     std::uint64_t link_seq) {
   std::scoped_lock lock(mu_);
   auto [it, _] = dedup_.try_emplace(src);
-  return it->second.accept(link_seq);
+  const std::uint64_t recoveries_before = it->second.late_recoveries();
+  const wire::DedupWindow::Verdict v = it->second.accept(link_seq);
+  if (recorder_ != nullptr) {
+    const bool dropped = v != wire::DedupWindow::Verdict::Fresh;
+    const bool recovered =
+        it->second.late_recoveries() != recoveries_before;
+    if (dropped || recovered) {
+      trace::Event e;
+      e.kind = dropped ? trace::EventKind::DedupDrop
+                       : trace::EventKind::DedupLateRecovery;
+      e.track = trace::TrackKind::Link;
+      e.machine = src;
+      e.peer = id_;
+      e.start_ns = clock_.now().as_nanos();
+      e.seq = static_cast<std::uint32_t>(link_seq);
+      recorder_->record(e);
+    }
+  }
+  return v;
+}
+
+void Machine::set_recorder(trace::Recorder* recorder) {
+  std::scoped_lock lock(mu_);
+  recorder_ = recorder;
+}
+
+Machine::DedupCounters Machine::dedup_counters() const {
+  std::scoped_lock lock(mu_);
+  DedupCounters c;
+  for (const auto& [src, window] : dedup_) {
+    c.forced_slides += window.forced_slides();
+    c.late_recoveries += window.late_recoveries();
+    c.skipped_expired += window.skipped_expired();
+  }
+  return c;
 }
 
 std::optional<Envelope> Machine::receive_blocking() {

@@ -18,6 +18,7 @@
 #include "net/clock.hpp"
 #include "objmodel/heap.hpp"
 #include "serial/cost_model.hpp"
+#include "trace/trace.hpp"
 #include "wire/protocol.hpp"
 #include "wire/session.hpp"
 
@@ -62,11 +63,25 @@ class Machine {
 
   std::size_t pending_messages() const;
 
+  // Attaches a trace recorder (nullptr detaches); dedup verdicts on this
+  // machine's receive windows become DedupDrop / DedupLateRecovery events.
+  void set_recorder(trace::Recorder* recorder);
+
+  // Receive-window health, aggregated over all source links.
+  struct DedupCounters {
+    std::uint64_t forced_slides = 0;
+    std::uint64_t late_recoveries = 0;
+    std::uint64_t skipped_expired = 0;
+  };
+  DedupCounters dedup_counters() const;
+
  private:
   const std::uint16_t id_;
   om::Heap heap_;
   VirtualClock clock_;
   const serial::CostModel& cost_;
+
+  trace::Recorder* recorder_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -1,5 +1,7 @@
 #include "net/transport.hpp"
 
+#include <algorithm>
+
 #include "net/machine.hpp"
 #include "support/error.hpp"
 
@@ -19,11 +21,43 @@ SimTime Transport::charge_and_schedule(Machine& sender,
          SimTime::nanos(extra_fragments * cost_.fragment_overhead_ns);
 }
 
+void Transport::trace_flight(Machine& sender, const Machine& receiver,
+                             const wire::Frame& frame,
+                             std::size_t charged_bytes, SimTime arrival) {
+  if (recorder_ == nullptr) return;
+  trace::Event e;
+  e.kind = trace::EventKind::Flight;
+  e.track = trace::TrackKind::Link;
+  e.machine = sender.id();
+  e.peer = receiver.id();
+  e.start_ns = sender.clock().now().as_nanos();
+  e.dur_ns = std::max<std::int64_t>(arrival.as_nanos() - e.start_ns, 0);
+  e.seq = static_cast<std::uint32_t>(frame.link_seq);
+  e.count = static_cast<std::uint32_t>(frame.messages.size());
+  e.bytes = charged_bytes;
+  recorder_->record(e);
+}
+
+void Transport::trace_instant(trace::EventKind kind, Machine& sender,
+                              const Machine& receiver,
+                              std::uint64_t link_seq) {
+  if (recorder_ == nullptr) return;
+  trace::Event e;
+  e.kind = kind;
+  e.track = trace::TrackKind::Link;
+  e.machine = sender.id();
+  e.peer = receiver.id();
+  e.start_ns = sender.clock().now().as_nanos();
+  e.seq = static_cast<std::uint32_t>(link_seq);
+  recorder_->record(e);
+}
+
 wire::SendOutcome SimTransport::submit(Machine& sender, Machine& receiver,
                                        const wire::Frame& frame) {
   const std::size_t charged = frame.charged_bytes();
   record(frame.messages.size(), charged);
   const SimTime arrival = charge_and_schedule(sender, charged);
+  trace_flight(sender, receiver, frame, charged, arrival);
 
   // Physical transmission: only the byte image crosses the "wire".
   ByteBuffer image = wire::encode_frame(frame);
@@ -57,6 +91,7 @@ wire::SendOutcome LoopbackTransport::submit(Machine& sender,
   const std::size_t charged = frame.charged_bytes();
   record(frame.messages.size(), charged);
   const SimTime arrival = charge_and_schedule(sender, charged);
+  trace_flight(sender, receiver, frame, charged, arrival);
   if (receiver.accept_link_seq(sender.id(), frame.link_seq) !=
       wire::DedupWindow::Verdict::Fresh) {
     stats_.record_dedup_hit();
@@ -134,6 +169,8 @@ wire::SendOutcome FaultyTransport::submit(Machine& sender, Machine& receiver,
   // like any other frame (bytes crossed the wire; nothing was delivered).
   if (dice.next_double() < faults.corrupt) {
     stats_.record_corrupted();
+    trace_instant(trace::EventKind::FaultCorrupt, sender, receiver,
+                  frame.link_seq);
     record(0, frame.charged_bytes());
     (void)charge_and_schedule(sender, frame.charged_bytes());
     // Demonstrate the fail-closed path end to end: flip one bit of the
@@ -159,6 +196,8 @@ wire::SendOutcome FaultyTransport::submit(Machine& sender, Machine& receiver,
   if (dice.next_double() < faults.drop) {
     stats_.record_dropped();
     stats_.record_timeout();
+    trace_instant(trace::EventKind::FaultDrop, sender, receiver,
+                  frame.link_seq);
     record(0, frame.charged_bytes());
     (void)charge_and_schedule(sender, frame.charged_bytes());
     return wire::SendOutcome::Timeout;
@@ -171,6 +210,8 @@ wire::SendOutcome FaultyTransport::submit(Machine& sender, Machine& receiver,
 
   if (duplicate) {
     stats_.record_duplicated();
+    trace_instant(trace::EventKind::FaultDuplicate, sender, receiver,
+                  frame.link_seq);
     (void)inner_->submit(sender, receiver, frame);  // window discards it
   }
   if (reorder) {
@@ -182,6 +223,8 @@ wire::SendOutcome FaultyTransport::submit(Machine& sender, Machine& receiver,
   }
   if (late_release != nullptr) {
     stats_.record_reordered();
+    trace_instant(trace::EventKind::FaultReorder, sender, receiver,
+                  late_release->link_seq);
     (void)inner_->submit(sender, receiver, *late_release);  // stale: dedup
   }
   return out;

@@ -40,6 +40,7 @@
 #include "net/fault.hpp"
 #include "serial/cost_model.hpp"
 #include "support/sim_time.hpp"
+#include "trace/trace.hpp"
 #include "wire/framing.hpp"
 #include "wire/session.hpp"
 
@@ -66,6 +67,12 @@ class NetworkStats {
     std::uint64_t dedup_hits = 0;   // frames discarded by a receive window
     std::uint64_t timeouts = 0;     // retransmit timers the sender waited out
 
+    // Receive-window health (filled in by Cluster::stats(), which owns
+    // the machines the windows live on) — all zero on a healthy network.
+    std::uint64_t dedup_forced_slides = 0;   // horizon forced past a gap
+    std::uint64_t dedup_late_recoveries = 0; // delayed frames still delivered
+    std::uint64_t dedup_skipped_expired = 0; // gap entries that aged out
+
     Snapshot& operator+=(const Snapshot& o) {
       messages += o.messages;
       bytes += o.bytes;
@@ -78,6 +85,9 @@ class NetworkStats {
       retransmits += o.retransmits;
       dedup_hits += o.dedup_hits;
       timeouts += o.timeouts;
+      dedup_forced_slides += o.dedup_forced_slides;
+      dedup_late_recoveries += o.dedup_late_recoveries;
+      dedup_skipped_expired += o.dedup_skipped_expired;
       return *this;
     }
 
@@ -182,6 +192,12 @@ class Transport {
 
   virtual NetworkStats::Snapshot stats() const { return stats_.snapshot(); }
 
+  // Attaches a trace recorder (nullptr detaches): frame traversals become
+  // Flight spans, injected faults become instants, on the link tracks.
+  virtual void set_recorder(trace::Recorder* recorder) {
+    recorder_ = recorder;
+  }
+
  protected:
   // Shared GM arithmetic: charges the sender the send-descriptor cost and
   // returns the frame's arrival time at the receiver's NIC (one-way
@@ -193,8 +209,20 @@ class Transport {
     stats_.record_frame(message_count, charged_bytes);
   }
 
+  // Flight span on the src->dst link track: from the moment the sender
+  // finished paying the send descriptor until the frame reaches the
+  // receiver's NIC.
+  void trace_flight(Machine& sender, const Machine& receiver,
+                    const wire::Frame& frame, std::size_t charged_bytes,
+                    SimTime arrival);
+
+  // Instant on the src->dst link track (injected faults).
+  void trace_instant(trace::EventKind kind, Machine& sender,
+                     const Machine& receiver, std::uint64_t link_seq);
+
   const serial::CostModel& cost_;
   NetworkStats stats_;
+  trace::Recorder* recorder_ = nullptr;
 };
 
 // Byte-framed network model: encode -> transmit -> decode -> dedup.
@@ -226,6 +254,13 @@ class FaultyTransport final : public Transport {
   std::string_view name() const override { return name_; }
   wire::SendOutcome submit(Machine& sender, Machine& receiver,
                            const wire::Frame& frame) override;
+
+  // The decorator records its fault events; the inner backend records the
+  // flights of whatever it actually delivers.
+  void set_recorder(trace::Recorder* recorder) override {
+    Transport::set_recorder(recorder);
+    inner_->set_recorder(recorder);
+  }
 
   // Own fault counters plus the wrapped backend's traffic counters.
   NetworkStats::Snapshot stats() const override {

@@ -39,6 +39,12 @@ struct ExecutorConfig {
   // it only converts a genuinely lost reply — e.g. a callee that crashed
   // after accepting the call — from a hang into an RmiTimeout.
   std::int64_t call_timeout_ms = 30'000;
+
+  // At-most-once reply-cache entries kept per callee machine.  The FIFO
+  // eviction only releases *completed* entries; in-flight calls are
+  // pinned (and counted) until they reply, so the cache may transiently
+  // exceed this bound by the number of concurrent in-flight calls.
+  std::size_t reply_cache_capacity = 4096;
 };
 
 class DispatchExecutor {

@@ -93,6 +93,56 @@ void RmiSystem::charge(std::uint16_t machine_id,
       pass.cpu_cost(cluster_.cost()));
 }
 
+// ---- tracing ----------------------------------------------------------------
+
+trace::PassTrace RmiSystem::pass_trace(trace::EventKind kind,
+                                       std::uint16_t machine_id,
+                                       std::uint32_t callsite_id,
+                                       std::uint32_t seq) const {
+  trace::PassTrace pt;
+  pt.recorder = recorder();
+  if (pt.recorder == nullptr) return pt;  // inert: no clock read
+  pt.kind = kind;
+  pt.machine = machine_id;
+  pt.callsite = callsite_id;
+  pt.seq = seq;
+  pt.virtual_start_ns = cluster_.machine(machine_id).clock().now().as_nanos();
+  pt.cost = &cluster_.cost();
+  return pt;
+}
+
+void RmiSystem::trace_instant(trace::EventKind kind, std::uint16_t machine_id,
+                              std::uint32_t callsite_id,
+                              std::uint32_t seq) const {
+  trace::Recorder* rec = recorder();
+  if (rec == nullptr) return;
+  trace::Event e;
+  e.kind = kind;
+  e.machine = machine_id;
+  e.callsite = callsite_id;
+  e.seq = seq;
+  e.start_ns = cluster_.machine(machine_id).clock().now().as_nanos();
+  rec->record(e);
+}
+
+void RmiSystem::trace_span(trace::EventKind kind, std::uint16_t machine_id,
+                           std::uint32_t callsite_id, std::uint32_t seq,
+                           std::int64_t start_ns, std::uint64_t bytes) const {
+  trace::Recorder* rec = recorder();
+  if (rec == nullptr) return;
+  trace::Event e;
+  e.kind = kind;
+  e.machine = machine_id;
+  e.callsite = callsite_id;
+  e.seq = seq;
+  e.start_ns = start_ns;
+  const std::int64_t now =
+      cluster_.machine(machine_id).clock().now().as_nanos();
+  e.dur_ns = now > start_ns ? now - start_ns : 0;
+  e.bytes = bytes;
+  rec->record(e);
+}
+
 void RmiSystem::charge_stub(std::uint16_t machine_id,
                             const CompiledCallSite& site, std::size_t nargs,
                             std::size_t nscalars) {
@@ -162,7 +212,8 @@ void RmiSystem::fulfill_pending(MachineContext& ctx, std::uint32_t seq,
 
 // ---- at-most-once -----------------------------------------------------------
 
-RmiSystem::CallAdmission RmiSystem::admit_call(MachineContext& ctx,
+RmiSystem::CallAdmission RmiSystem::admit_call(std::uint16_t machine_id,
+                                               MachineContext& ctx,
                                                std::uint64_t key,
                                                wire::Message* replay) {
   std::scoped_lock lock(ctx.amo_mu);
@@ -174,9 +225,29 @@ RmiSystem::CallAdmission RmiSystem::admit_call(MachineContext& ctx,
   }
   ctx.reply_cache.emplace(key, ReplyCacheEntry{});
   ctx.reply_cache_order.push_back(key);
-  while (ctx.reply_cache_order.size() > kReplyCacheCapacity) {
-    ctx.reply_cache.erase(ctx.reply_cache_order.front());
+  // Bounded FIFO eviction of *completed* entries only.  An in-flight
+  // entry (admitted, not yet replied) is the sole record that its call is
+  // executing: evicting it would let a delayed duplicate be re-admitted
+  // as Fresh and the handler run twice.  Such entries are pinned — moved
+  // to the back of the order and counted — and the cache transiently
+  // exceeds its capacity by the number of concurrent in-flight calls.
+  std::size_t scanned = 0;
+  while (ctx.reply_cache.size() > exec_cfg_.reply_cache_capacity &&
+         scanned < ctx.reply_cache_order.size()) {
+    ++scanned;
+    const std::uint64_t victim = ctx.reply_cache_order.front();
     ctx.reply_cache_order.pop_front();
+    auto vit = ctx.reply_cache.find(victim);
+    if (vit == ctx.reply_cache.end()) continue;  // already released
+    if (!vit->second.replied) {
+      ctx.reply_cache_order.push_back(victim);  // pinned: still in flight
+      ctx.stats.count_reply_cache_pin();
+      trace_instant(trace::EventKind::ReplyCachePinned, machine_id,
+                    trace::Event::kNoCallsite,
+                    static_cast<std::uint32_t>(victim));
+      continue;
+    }
+    ctx.reply_cache.erase(vit);
   }
   return CallAdmission::Fresh;
 }
@@ -234,6 +305,10 @@ om::ObjRef RmiSystem::invoke(std::uint16_t caller, RemoteRef target,
   MachineContext& cctx = *contexts_.at(caller);
   net::Machine& m = cluster_.machine(caller);
   cctx.stats.count_remote_rpc();
+  // Caller-perceived Call span: from here to the reply's deserialization.
+  trace::Recorder* const rec = recorder();
+  const std::int64_t call_start_ns =
+      rec != nullptr ? m.clock().now().as_nanos() : 0;
   auto fut = register_pending(cctx, seq).get_future();
 
   wire::Message msg;
@@ -253,7 +328,9 @@ om::ObjRef RmiSystem::invoke(std::uint16_t caller, RemoteRef target,
   const bool cycle_enabled = site.heavy || plan.needs_cycle_table;
   serial::SerialStats pass;
   {
-    serial::SerialWriter w(class_plans_, pass, cycle_enabled);
+    serial::SerialWriter w(
+        class_plans_, pass, cycle_enabled,
+        pass_trace(trace::EventKind::Serialize, caller, callsite_id, seq));
     for (std::size_t i = 0; i < args.size(); ++i) {
       if (site.heavy) {
         w.write_introspective(msg.payload, args[i]);
@@ -262,6 +339,7 @@ om::ObjRef RmiSystem::invoke(std::uint16_t caller, RemoteRef target,
       }
     }
   }
+  const std::uint64_t request_bytes = msg.payload.size();
   charge(caller, pass);
   cctx.stats.add_pass(pass);
   add_site_pass(callsite_id, pass, 0, 1);
@@ -277,16 +355,30 @@ om::ObjRef RmiSystem::invoke(std::uint16_t caller, RemoteRef target,
       cctx.pending.erase(seq);
     }
     cctx.stats.count_call_timeout();
+    trace_instant(trace::EventKind::CallTimeout, caller, callsite_id, seq);
     throw RmiTimeout("call to machine " + std::to_string(target.machine) +
                      " undeliverable: " + e.what());
   }
 
-  PendingReply rep = await_pending(cctx, seq, std::move(fut));
+  PendingReply rep;
+  try {
+    rep = await_pending(cctx, seq, std::move(fut));
+  } catch (const RmiTimeout&) {
+    trace_instant(trace::EventKind::CallTimeout, caller, callsite_id, seq);
+    throw;
+  }
   RMIOPT_CHECK(!rep.is_local, "local reply on remote path");
-  if (rep.msg.header.kind == wire::MsgKind::Ack) return nullptr;
+  if (rep.msg.header.kind == wire::MsgKind::Ack) {
+    trace_span(trace::EventKind::Call, caller, callsite_id, seq,
+               call_start_ns, request_bytes);
+    return nullptr;
+  }
 
+  const std::uint64_t reply_bytes = rep.msg.payload.size();
   serial::SerialStats rpass;
-  serial::SerialReader r(class_plans_, m.heap(), rpass, cycle_enabled);
+  serial::SerialReader r(
+      class_plans_, m.heap(), rpass, cycle_enabled,
+      pass_trace(trace::EventKind::Deserialize, caller, callsite_id, seq));
   om::ObjRef value = nullptr;
   if (site.heavy) {
     value = r.read_introspective(rep.msg.payload);
@@ -309,6 +401,8 @@ om::ObjRef RmiSystem::invoke(std::uint16_t caller, RemoteRef target,
   charge(caller, rpass);
   cctx.stats.add_pass(rpass);
   add_site_pass(callsite_id, rpass);
+  trace_span(trace::EventKind::Call, caller, callsite_id, seq, call_start_ns,
+             request_bytes + reply_bytes);
   return value;
 }
 
@@ -320,6 +414,9 @@ om::ObjRef RmiSystem::invoke_local(std::uint16_t caller, RemoteRef target,
   MachineContext& cctx = *contexts_.at(caller);
   net::Machine& m = cluster_.machine(caller);
   cctx.stats.count_local_rpc();
+  trace::Recorder* const rec = recorder();
+  const std::int64_t call_start_ns =
+      rec != nullptr ? m.clock().now().as_nanos() : 0;
   auto fut = register_pending(cctx, seq).get_future();
   charge_stub(caller, site, args.size(), scalars.size());
 
@@ -371,10 +468,13 @@ om::ObjRef RmiSystem::invoke_local(std::uint16_t caller, RemoteRef target,
     free_arg_graphs(m.heap(), cloned, freep);
     charge(caller, freep);
     cctx.stats.add_pass(freep);
+    add_site_pass(site.plan->id, freep);
   }
 
   PendingReply rep = await_pending(cctx, seq, std::move(fut));
   RMIOPT_CHECK(rep.is_local, "remote reply on local path");
+  trace_span(trace::EventKind::LocalCall, caller, site.plan->id, seq,
+             call_start_ns);
   return rep.local_value;
 }
 
@@ -404,6 +504,7 @@ void RmiSystem::send_reply(const ReplyToken& token, om::ObjRef value,
     }
     charge(token.callee_machine, pass);
     callee_ctx.stats.add_pass(pass);
+    add_site_pass(token.callsite_id, pass);
 
     PendingReply rep;
     rep.is_local = true;
@@ -422,7 +523,10 @@ void RmiSystem::send_reply(const ReplyToken& token, om::ObjRef value,
   serial::SerialStats pass;
   if (has_ret) {
     const bool cycle_enabled = site.heavy || plan.needs_cycle_table;
-    serial::SerialWriter w(class_plans_, pass, cycle_enabled);
+    serial::SerialWriter w(class_plans_, pass, cycle_enabled,
+                           pass_trace(trace::EventKind::Serialize,
+                                      token.callee_machine,
+                                      token.callsite_id, token.seq));
     if (site.heavy) {
       w.write_introspective(reply.payload, value);
     } else {
@@ -436,6 +540,7 @@ void RmiSystem::send_reply(const ReplyToken& token, om::ObjRef value,
   }
   charge(token.callee_machine, pass);
   callee_ctx.stats.add_pass(pass);
+  add_site_pass(token.callsite_id, pass);
   // At-most-once: keep the serialized reply so a duplicate of this call
   // can be answered by replay instead of re-executing the handler.
   cache_reply(callee_ctx, call_key(token.caller_machine, token.seq), reply);
@@ -488,13 +593,17 @@ void RmiSystem::dispatch_loop(std::uint16_t machine_id) {
       // re-sent verbatim (the handler never runs twice).
       const std::uint64_t key = call_key(h.source_machine, h.seq);
       wire::Message replay;
-      switch (admit_call(ctx, key, &replay)) {
+      switch (admit_call(machine_id, ctx, key, &replay)) {
         case CallAdmission::InProgress:
           ctx.stats.count_duplicate_call();
+          trace_instant(trace::EventKind::DuplicateDropped, machine_id,
+                        h.callsite_id, h.seq);
           continue;
         case CallAdmission::Replied:
           ctx.stats.count_duplicate_call();
           ctx.stats.count_replayed_reply();
+          trace_instant(trace::EventKind::ReplyReplayed, machine_id,
+                        h.callsite_id, h.seq);
           try {
             cluster_.send(std::move(replay));
           } catch (const ProtocolError&) {
@@ -539,7 +648,10 @@ void RmiSystem::dispatch_loop(std::uint16_t machine_id) {
     rep.is_local = false;
     const std::uint32_t seq = h.seq;
     rep.msg = std::move(env->msg);
-    if (!try_fulfill_pending(ctx, seq, std::move(rep))) {
+    if (try_fulfill_pending(ctx, seq, std::move(rep))) {
+      trace_instant(trace::EventKind::ReplyDeliver, machine_id,
+                    h.callsite_id, seq);
+    } else {
       ctx.stats.count_stray_reply();
     }
   }
@@ -569,7 +681,10 @@ RmiSystem::DecodedCall RmiSystem::decode_call(std::uint16_t machine_id,
 
   // Object arguments.
   serial::SerialStats pass;
-  serial::SerialReader reader(class_plans_, m.heap(), pass, cycle_enabled);
+  serial::SerialReader reader(
+      class_plans_, m.heap(), pass, cycle_enabled,
+      pass_trace(trace::EventKind::Deserialize, machine_id, h.callsite_id,
+                 h.seq));
   call.args.assign(plan.args.size(), nullptr);
   std::vector<om::ObjRef> cached;
   call.reuse = plan.reuse_args && !site.heavy;
@@ -622,6 +737,9 @@ void RmiSystem::execute_call(std::uint16_t machine_id, DecodedCall call) {
   const ReplyToken token{call.callsite_id, call.seq, call.source,
                          machine_id};
   CallContext cc(*this, m, self, token);
+  trace::Recorder* const rec = recorder();
+  const std::int64_t handler_start_ns =
+      rec != nullptr ? m.clock().now().as_nanos() : 0;
   HandlerResult res;
   if (bad_export) {
     res = HandlerResult::exception("unknown export id " +
@@ -633,6 +751,8 @@ void RmiSystem::execute_call(std::uint16_t machine_id, DecodedCall call) {
       res = HandlerResult::exception(e.what());
     }
   }
+  trace_span(trace::EventKind::HandlerRun, machine_id, call.callsite_id,
+             call.seq, handler_start_ns);
 
   // Reply first: the return value may alias the argument graphs, so the
   // arguments stay live until the reply is serialized (as a GC would
@@ -655,6 +775,7 @@ void RmiSystem::execute_call(std::uint16_t machine_id, DecodedCall call) {
     free_arg_graphs(m.heap(), call.args, freep);
     charge(machine_id, freep);
     ctx.stats.add_pass(freep);
+    add_site_pass(call.callsite_id, freep);
   }
 }
 

@@ -165,6 +165,8 @@ class RmiSystem {
   // Per-call-site counters (the paper gathered its Tables 4/6/8 "on a
   // separate run of the program with an instrumented runtime system").
   RmiStatsSnapshot callsite_stats(std::uint32_t callsite_id) const;
+  // Number of registered call sites (ids are 0..count-1).
+  std::size_t callsite_count() const { return callsites_.size(); }
   // A formatted per-call-site report: one row per site with rpc counts,
   // reuse, allocation volume and cycle lookups.
   std::string report() const;
@@ -265,7 +267,6 @@ class RmiSystem {
                              std::future<PendingReply> fut);
 
   // ---- at-most-once ---------------------------------------------------------
-  static constexpr std::size_t kReplyCacheCapacity = 4096;
   static constexpr std::uint64_t call_key(std::uint16_t caller,
                                           std::uint32_t seq) {
     return (static_cast<std::uint64_t>(caller) << 32) | seq;
@@ -273,9 +274,12 @@ class RmiSystem {
   enum class CallAdmission { Fresh, InProgress, Replied };
   // Classifies an incoming Call against the reply cache; Fresh admits it
   // (and records it in progress), Replied fills `*replay` with the cached
-  // reply message.
-  CallAdmission admit_call(MachineContext& ctx, std::uint64_t key,
-                           wire::Message* replay);
+  // reply message.  `machine_id` is the callee (for stats/trace of forced
+  // pins).  Eviction only releases completed entries — an in-flight
+  // call's entry is pinned until its reply is cached, so a delayed
+  // duplicate can never be re-admitted as Fresh while the handler runs.
+  CallAdmission admit_call(std::uint16_t machine_id, MachineContext& ctx,
+                           std::uint64_t key, wire::Message* replay);
   // Records the outgoing reply so a duplicate of its call can be answered
   // by replay instead of re-execution.
   void cache_reply(MachineContext& ctx, std::uint64_t key,
@@ -283,6 +287,23 @@ class RmiSystem {
 
   void add_site_pass(std::uint32_t callsite_id, const serial::SerialStats& pass,
                      int local_rpcs = 0, int remote_rpcs = 0);
+
+  // ---- tracing --------------------------------------------------------------
+  // The recorder attached to the cluster (nullptr when tracing is off —
+  // the default; every emission site checks before building an Event).
+  trace::Recorder* recorder() const { return cluster_.recorder(); }
+  // Builds the pass-trace context for a SerialWriter/SerialReader: null
+  // recorder yields an inert context (no clock read, nothing recorded).
+  trace::PassTrace pass_trace(trace::EventKind kind, std::uint16_t machine_id,
+                              std::uint32_t callsite_id,
+                              std::uint32_t seq) const;
+  // Instant event on `machine_id`'s machine track at its current clock.
+  void trace_instant(trace::EventKind kind, std::uint16_t machine_id,
+                     std::uint32_t callsite_id, std::uint32_t seq) const;
+  // Span on `machine_id`'s machine track from virtual `start_ns` to now.
+  void trace_span(trace::EventKind kind, std::uint16_t machine_id,
+                  std::uint32_t callsite_id, std::uint32_t seq,
+                  std::int64_t start_ns, std::uint64_t bytes = 0) const;
 
   net::Cluster& cluster_;
   const ExecutorConfig exec_cfg_;

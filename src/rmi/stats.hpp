@@ -19,6 +19,7 @@ struct RmiStatsSnapshot {
   std::uint64_t stray_replies = 0;      // replies with no pending call
   std::uint64_t call_timeouts = 0;      // invocations that raised RmiTimeout
   std::uint64_t undeliverable_replies = 0;  // replies lost to a dead link
+  std::uint64_t reply_cache_pins = 0;   // evictions skipped: call in flight
 
   RmiStatsSnapshot& operator+=(const RmiStatsSnapshot& o) {
     local_rpcs += o.local_rpcs;
@@ -29,6 +30,7 @@ struct RmiStatsSnapshot {
     stray_replies += o.stray_replies;
     call_timeouts += o.call_timeouts;
     undeliverable_replies += o.undeliverable_replies;
+    reply_cache_pins += o.reply_cache_pins;
     return *this;
   }
 
@@ -74,6 +76,10 @@ class RmiStats {
   void count_undeliverable_reply() {
     std::scoped_lock lock(mu_);
     ++snap_.undeliverable_replies;
+  }
+  void count_reply_cache_pin() {
+    std::scoped_lock lock(mu_);
+    ++snap_.reply_cache_pins;
   }
 
   RmiStatsSnapshot snapshot() const {

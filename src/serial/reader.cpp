@@ -6,12 +6,33 @@ namespace rmiopt::serial {
 
 SerialReader::SerialReader(const ClassPlanRegistry& class_plans,
                            om::Heap& heap, SerialStats& stats,
-                           bool cycle_enabled)
+                           bool cycle_enabled, trace::PassTrace pt)
     : class_plans_(class_plans),
       types_(class_plans.types()),
       heap_(heap),
       stats_(stats),
-      cycle_enabled_(cycle_enabled) {}
+      cycle_enabled_(cycle_enabled),
+      pt_(pt) {
+  if (pt_.recorder != nullptr) real_start_ = std::chrono::steady_clock::now();
+}
+
+SerialReader::~SerialReader() {
+  if (pt_.recorder == nullptr || pt_.cost == nullptr) return;
+  trace::Event e;
+  e.kind = pt_.kind;
+  e.machine = pt_.machine;
+  e.callsite = pt_.callsite;
+  e.seq = pt_.seq;
+  e.start_ns = pt_.virtual_start_ns;
+  e.dur_ns = stats_.cpu_cost(*pt_.cost).as_nanos();
+  e.bytes = stats_.bytes_copied_rx;
+  e.reuse_hits = stats_.objects_reused;
+  e.cycle_lookups = stats_.cycle_lookups;
+  e.real_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - real_start_)
+                  .count();
+  pt_.recorder->record(e);
+}
 
 om::ObjRef SerialReader::fresh_alloc(const om::ClassDescriptor& cls,
                                      std::uint32_t length) {

@@ -9,6 +9,7 @@
 // check and the fresh-allocation fallback on mismatch).
 #pragma once
 
+#include <chrono>
 #include <span>
 #include <unordered_set>
 #include <vector>
@@ -18,13 +19,23 @@
 #include "serial/plan.hpp"
 #include "serial/stats.hpp"
 #include "support/bytebuffer.hpp"
+#include "trace/trace.hpp"
 
 namespace rmiopt::serial {
 
 class SerialReader {
  public:
+  // `pt` optionally traces the pass: with a recorder attached the reader
+  // emits one Deserialize event when it is destroyed (one instance == one
+  // pass), carrying the pass's virtual cost and its measured real-time
+  // duration.  The default (null recorder) records nothing and reads no
+  // clock.
   SerialReader(const ClassPlanRegistry& class_plans, om::Heap& heap,
-               SerialStats& stats, bool cycle_enabled);
+               SerialStats& stats, bool cycle_enabled,
+               trace::PassTrace pt = {});
+  ~SerialReader();
+  SerialReader(const SerialReader&) = delete;
+  SerialReader& operator=(const SerialReader&) = delete;
 
   // Deserializes one value according to `plan`, allocating fresh objects.
   om::ObjRef read(ByteBuffer& in, const NodePlan& plan);
@@ -67,6 +78,8 @@ class SerialReader {
   om::Heap& heap_;
   SerialStats& stats_;
   const bool cycle_enabled_;
+  const trace::PassTrace pt_;
+  std::chrono::steady_clock::time_point real_start_;
   std::vector<om::ObjRef> handles_;
   std::unordered_set<om::ObjRef> consumed_;    // reused cache nodes
   std::vector<om::ObjRef> fresh_;              // allocated by this pass

@@ -5,11 +5,33 @@
 namespace rmiopt::serial {
 
 SerialWriter::SerialWriter(const ClassPlanRegistry& class_plans,
-                           SerialStats& stats, bool cycle_enabled)
+                           SerialStats& stats, bool cycle_enabled,
+                           trace::PassTrace pt)
     : class_plans_(class_plans),
       types_(class_plans.types()),
       stats_(stats),
-      cycle_enabled_(cycle_enabled) {}
+      cycle_enabled_(cycle_enabled),
+      pt_(pt) {
+  if (pt_.recorder != nullptr) real_start_ = std::chrono::steady_clock::now();
+}
+
+SerialWriter::~SerialWriter() {
+  if (pt_.recorder == nullptr || pt_.cost == nullptr) return;
+  trace::Event e;
+  e.kind = pt_.kind;
+  e.machine = pt_.machine;
+  e.callsite = pt_.callsite;
+  e.seq = pt_.seq;
+  e.start_ns = pt_.virtual_start_ns;
+  e.dur_ns = stats_.cpu_cost(*pt_.cost).as_nanos();
+  e.bytes = stats_.bytes_copied;
+  e.reuse_hits = stats_.objects_reused;
+  e.cycle_lookups = stats_.cycle_lookups;
+  e.real_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - real_start_)
+                  .count();
+  pt_.recorder->record(e);
+}
 
 bool SerialWriter::write_prologue(ByteBuffer& out, bool cycle_check,
                                   om::ObjRef obj) {

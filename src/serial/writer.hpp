@@ -7,19 +7,30 @@
 // event counts into the caller's SerialStats.
 #pragma once
 
+#include <chrono>
+
 #include "objmodel/heap.hpp"
 #include "serial/class_plans.hpp"
 #include "serial/cycle_table.hpp"
 #include "serial/plan.hpp"
 #include "serial/stats.hpp"
 #include "support/bytebuffer.hpp"
+#include "trace/trace.hpp"
 
 namespace rmiopt::serial {
 
 class SerialWriter {
  public:
+  // `pt` optionally traces the pass: with a recorder attached the writer
+  // emits one Serialize event when it is destroyed (one instance == one
+  // pass), carrying the pass's virtual cost and its measured real-time
+  // duration.  The default (null recorder) records nothing and reads no
+  // clock.
   SerialWriter(const ClassPlanRegistry& class_plans, SerialStats& stats,
-               bool cycle_enabled);
+               bool cycle_enabled, trace::PassTrace pt = {});
+  ~SerialWriter();
+  SerialWriter(const SerialWriter&) = delete;
+  SerialWriter& operator=(const SerialWriter&) = delete;
 
   // Serializes `obj` according to `plan` (call-site or class mode).
   void write(ByteBuffer& out, const NodePlan& plan, om::ObjRef obj);
@@ -37,6 +48,8 @@ class SerialWriter {
   const om::TypeRegistry& types_;
   SerialStats& stats_;
   const bool cycle_enabled_;
+  const trace::PassTrace pt_;
+  std::chrono::steady_clock::time_point real_start_;
   bool table_used_ = false;  // lazily count table creation on first probe
   CycleTable cycles_;
 };

@@ -1,0 +1,78 @@
+#include "trace/profile.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/table.hpp"
+
+namespace rmiopt::trace {
+
+namespace {
+
+struct Accum {
+  CallsiteProfile row;
+  std::vector<std::int64_t> latencies;
+};
+
+// Deterministic nearest-rank quantile over a sorted sample.
+std::int64_t quantile(const std::vector<std::int64_t>& sorted, int pct) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = (sorted.size() - 1) * static_cast<std::size_t>(pct) / 100;
+  return sorted[idx];
+}
+
+}  // namespace
+
+std::vector<CallsiteProfile> build_profile(const std::vector<Event>& events) {
+  std::map<std::uint32_t, Accum> by_site;  // ordered by call site id
+  for (const Event& e : events) {
+    if (e.callsite == Event::kNoCallsite) continue;
+    Accum& a = by_site[e.callsite];
+    a.row.callsite = e.callsite;
+    switch (e.kind) {
+      case EventKind::Call:
+        ++a.row.remote;
+        [[fallthrough]];
+      case EventKind::LocalCall:
+        ++a.row.invocations;
+        a.row.bytes += e.bytes;
+        a.latencies.push_back(e.dur_ns);
+        break;
+      case EventKind::Serialize:
+      case EventKind::Deserialize:
+        a.row.reuse_hits += e.reuse_hits;
+        a.row.cycle_lookups += e.cycle_lookups;
+        break;
+      default:
+        break;
+    }
+  }
+  std::vector<CallsiteProfile> rows;
+  rows.reserve(by_site.size());
+  for (auto& [site, a] : by_site) {
+    std::sort(a.latencies.begin(), a.latencies.end());
+    a.row.p50_ns = quantile(a.latencies, 50);
+    a.row.p95_ns = quantile(a.latencies, 95);
+    a.row.max_ns = a.latencies.empty() ? 0 : a.latencies.back();
+    rows.push_back(a.row);
+  }
+  return rows;
+}
+
+std::string render_profile(const std::vector<CallsiteProfile>& rows,
+                           const CallsiteNameFn& name) {
+  TextTable t({"call site", "invocations", "remote", "p50 (us)", "p95 (us)",
+               "max (us)", "bytes", "reuse hits", "cycle lookups"});
+  for (const CallsiteProfile& r : rows) {
+    t.add_row({name ? name(r.callsite) : "site " + std::to_string(r.callsite),
+               std::to_string(r.invocations), std::to_string(r.remote),
+               fmt_fixed(static_cast<double>(r.p50_ns) / 1000.0, 2),
+               fmt_fixed(static_cast<double>(r.p95_ns) / 1000.0, 2),
+               fmt_fixed(static_cast<double>(r.max_ns) / 1000.0, 2),
+               std::to_string(r.bytes), std::to_string(r.reuse_hits),
+               std::to_string(r.cycle_lookups)});
+  }
+  return t.render();
+}
+
+}  // namespace rmiopt::trace

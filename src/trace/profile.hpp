@@ -1,0 +1,39 @@
+// Per-call-site profiling over a recorded trace.
+//
+// The paper's Tables 4/6/8 aggregate whole runs; the profile here keeps
+// the per-invocation distribution instead: for every static call site it
+// reports how many invocations completed, the p50/p95/max *virtual*
+// latency a caller perceived, the wire bytes moved, and the reuse-cache /
+// cycle-table activity — the per-callsite lens for "which site regressed
+// when the optimization level changed".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/recorder.hpp"
+
+namespace rmiopt::trace {
+
+struct CallsiteProfile {
+  std::uint32_t callsite = 0;
+  std::uint64_t invocations = 0;  // completed Call + LocalCall spans
+  std::uint64_t remote = 0;       // Call spans only
+  std::uint64_t bytes = 0;        // request + reply wire bytes
+  std::uint64_t reuse_hits = 0;   // reuse-cache hits across all passes
+  std::uint64_t cycle_lookups = 0;
+  std::int64_t p50_ns = 0;  // virtual caller-perceived latency quantiles
+  std::int64_t p95_ns = 0;
+  std::int64_t max_ns = 0;
+};
+
+// Builds one profile row per call site seen in `events`, ordered by call
+// site id.  Quantiles use deterministic nearest-rank indexing.
+std::vector<CallsiteProfile> build_profile(const std::vector<Event>& events);
+
+// Renders the profile as a text table (same family as the bench tables).
+std::string render_profile(const std::vector<CallsiteProfile>& rows,
+                           const CallsiteNameFn& name = {});
+
+}  // namespace rmiopt::trace

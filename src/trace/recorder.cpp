@@ -1,0 +1,197 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rmiopt::trace {
+
+std::string_view to_string(EventKind k) {
+  switch (k) {
+    case EventKind::Call:
+      return "call";
+    case EventKind::LocalCall:
+      return "local call";
+    case EventKind::Serialize:
+      return "serialize";
+    case EventKind::Deserialize:
+      return "deserialize";
+    case EventKind::HandlerRun:
+      return "handler";
+    case EventKind::ReplyDeliver:
+      return "reply delivered";
+    case EventKind::CallTimeout:
+      return "call timeout";
+    case EventKind::DuplicateDropped:
+      return "duplicate dropped";
+    case EventKind::ReplyReplayed:
+      return "reply replayed";
+    case EventKind::ReplyCachePinned:
+      return "reply-cache pin";
+    case EventKind::SessionEnqueue:
+      return "enqueue";
+    case EventKind::FrameEmit:
+      return "frame";
+    case EventKind::Retransmit:
+      return "retransmit";
+    case EventKind::NackTurnaround:
+      return "nack turnaround";
+    case EventKind::Flight:
+      return "flight";
+    case EventKind::FaultDrop:
+      return "fault: drop";
+    case EventKind::FaultDuplicate:
+      return "fault: duplicate";
+    case EventKind::FaultReorder:
+      return "fault: reorder";
+    case EventKind::FaultCorrupt:
+      return "fault: corrupt";
+    case EventKind::DedupDrop:
+      return "dedup drop";
+    case EventKind::DedupLateRecovery:
+      return "dedup late recovery";
+  }
+  return "?";
+}
+
+void MemoryRecorder::record(const Event& e) noexcept {
+  try {
+    std::scoped_lock lock(mu_);
+    events_.push_back(e);
+  } catch (...) {
+    // Out of memory while buffering a trace event: drop the event.  The
+    // trace becomes incomplete; the simulation must not.
+  }
+}
+
+std::vector<Event> MemoryRecorder::events() const {
+  std::scoped_lock lock(mu_);
+  return events_;
+}
+
+std::size_t MemoryRecorder::size() const {
+  std::scoped_lock lock(mu_);
+  return events_.size();
+}
+
+void MemoryRecorder::clear() {
+  std::scoped_lock lock(mu_);
+  events_.clear();
+}
+
+std::vector<Event> MemoryRecorder::events_of(EventKind kind) const {
+  std::scoped_lock lock(mu_);
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+namespace {
+
+// Stable track id: machines first, then directed links.  Cluster sizes
+// are small (the paper used 2-8 nodes), so src*4096+dst never collides
+// with a machine id.
+std::uint64_t track_tid(const Event& e) {
+  if (e.track == TrackKind::Machine) return e.machine;
+  return 1ull << 20 | (static_cast<std::uint64_t>(e.machine) << 12) | e.peer;
+}
+
+std::string track_name(const Event& e) {
+  if (e.track == TrackKind::Machine) {
+    return "machine " + std::to_string(e.machine);
+  }
+  return "link " + std::to_string(e.machine) + "->" + std::to_string(e.peer);
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+// Virtual nanoseconds -> trace_event microseconds (fixed 3 decimals keeps
+// the output deterministic across platforms).
+std::string micros(std::int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<Event>& events,
+                              const CallsiteNameFn& name) {
+  // Group per track and sort by virtual start so each track is monotone.
+  std::vector<const Event*> sorted;
+  sorted.reserve(events.size());
+  for (const Event& e : events) sorted.push_back(&e);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event* a, const Event* b) {
+                     const auto ta = track_tid(*a);
+                     const auto tb = track_tid(*b);
+                     if (ta != tb) return ta < tb;
+                     return a->start_ns < b->start_ns;
+                   });
+
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& obj) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += obj;
+  };
+
+  // Track-name metadata, one per distinct track.
+  std::uint64_t last_tid = ~0ull;
+  for (const Event* e : sorted) {
+    const std::uint64_t tid = track_tid(*e);
+    if (tid == last_tid) continue;
+    last_tid = tid;
+    std::string meta = "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                       "\"tid\":" + std::to_string(tid) + ",\"args\":{\"name\":\"";
+    append_escaped(meta, track_name(*e));
+    meta += "\"}}";
+    emit(meta);
+  }
+
+  for (const Event* e : sorted) {
+    std::string obj = "{\"name\":\"";
+    append_escaped(obj, to_string(e->kind));
+    if (e->callsite != Event::kNoCallsite) {
+      std::string site = name ? name(e->callsite)
+                              : "site " + std::to_string(e->callsite);
+      obj += " ";
+      append_escaped(obj, site);
+    }
+    obj += "\",\"cat\":\"";
+    obj += e->track == TrackKind::Machine ? "machine" : "link";
+    obj += "\",\"pid\":0,\"tid\":" + std::to_string(track_tid(*e));
+    obj += ",\"ts\":" + micros(e->start_ns);
+    if (e->dur_ns > 0) {
+      obj += ",\"ph\":\"X\",\"dur\":" + micros(e->dur_ns);
+    } else {
+      obj += ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    obj += ",\"args\":{";
+    obj += "\"seq\":" + std::to_string(e->seq);
+    if (e->bytes != 0) obj += ",\"bytes\":" + std::to_string(e->bytes);
+    if (e->count != 0) obj += ",\"messages\":" + std::to_string(e->count);
+    if (e->reuse_hits != 0) {
+      obj += ",\"reuse_hits\":" + std::to_string(e->reuse_hits);
+    }
+    if (e->cycle_lookups != 0) {
+      obj += ",\"cycle_lookups\":" + std::to_string(e->cycle_lookups);
+    }
+    if (e->real_ns != 0) obj += ",\"real_ns\":" + std::to_string(e->real_ns);
+    obj += "}}";
+    emit(obj);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace rmiopt::trace

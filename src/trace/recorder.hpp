@@ -1,0 +1,50 @@
+// MemoryRecorder: the default Recorder implementation, plus the Chrome
+// trace_event JSON exporter.
+//
+// MemoryRecorder buffers every event in memory (a mutex-guarded vector —
+// tracing is an observability tool, not a hot path).  Export produces the
+// Chrome/Perfetto `trace_event` JSON format: one named track per machine
+// ("machine N") and one per directed link ("link S->D"), complete ("X")
+// events for spans and instant ("i") events for point happenings, all
+// stamped in virtual microseconds.  Load the file in chrome://tracing or
+// https://ui.perfetto.dev to see where a run's virtual time went.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace rmiopt::trace {
+
+// Resolves a call-site id to a human-readable name for export; may be
+// empty (ids are printed raw).
+using CallsiteNameFn = std::function<std::string(std::uint32_t)>;
+
+class MemoryRecorder final : public Recorder {
+ public:
+  void record(const Event& e) noexcept override;
+
+  std::vector<Event> events() const;  // snapshot copy
+  std::size_t size() const;
+  void clear();
+
+  // Events of one kind (convenience for tests/benches).
+  std::vector<Event> events_of(EventKind kind) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+// Serializes `events` as Chrome trace_event JSON.  Events are grouped
+// into per-track timelines and sorted by virtual start within each track,
+// so every track's timestamps are monotone (scripts/validate_trace.py
+// checks exactly this invariant in CI).
+std::string chrome_trace_json(const std::vector<Event>& events,
+                              const CallsiteNameFn& name = {});
+
+}  // namespace rmiopt::trace

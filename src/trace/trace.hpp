@@ -1,0 +1,111 @@
+// Virtual-time tracing: the event model and the Recorder hook.
+//
+// Every layer of the communication stack can report what it did as an
+// Event stamped with the simulator's virtual clock: the RMI runtime emits
+// invocation/handler/admission events, the serializers emit per-pass
+// events (with a measured *real-time* duration alongside the virtual
+// one), the session layer emits enqueue/frame/ARQ events, the transports
+// emit flight and injected-fault events, and the receive windows emit
+// dedup verdicts.  Together they reconstruct where a call's virtual time
+// goes — serialize vs. wire vs. dispatch — per machine and per directed
+// link (exporters: trace/recorder.hpp for Chrome trace_event JSON,
+// trace/profile.hpp for the per-call-site profile table).
+//
+// The hook is a plain `Recorder*` that is nullptr by default, checked
+// before every emission: with no recorder attached not a single event is
+// constructed, no clock is read and no virtual time is charged, so every
+// benchmark's output stays bit-for-bit identical to a build without
+// tracing (the repo's established convention for optional machinery).
+// Recording itself never advances a virtual clock either, so attaching a
+// recorder changes *observability*, never the simulation.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rmiopt::serial {
+struct CostModel;
+}
+
+namespace rmiopt::trace {
+
+// Which timeline an event belongs to: a machine's CPU track or a
+// directed src->dst link track.
+enum class TrackKind : std::uint8_t { Machine, Link };
+
+enum class EventKind : std::uint8_t {
+  // ---- RMI runtime (machine tracks) ---------------------------------------
+  Call,             // one remote invocation, caller-perceived (span)
+  LocalCall,        // one same-machine invocation (span)
+  Serialize,        // one serializer pass (span; carries real_ns too)
+  Deserialize,      // one deserializer pass (span; carries real_ns too)
+  HandlerRun,       // callee-side user handler execution (span)
+  ReplyDeliver,     // reply matched to its pending call (instant)
+  CallTimeout,      // invocation raised RmiTimeout (instant)
+  // ---- at-most-once admission (callee machine track, instant) -------------
+  DuplicateDropped,  // duplicate of an in-flight call discarded
+  ReplyReplayed,     // duplicate answered from the reply cache
+  ReplyCachePinned,  // eviction skipped (pinned) an in-flight entry
+  // ---- session / wire (link tracks) ---------------------------------------
+  SessionEnqueue,  // message held back for coalescing (instant)
+  FrameEmit,       // frame sealed and handed to the transport (instant)
+  Retransmit,      // ARQ re-send; dur = backoff timer charged (span)
+  NackTurnaround,  // receiver NACKed; dur = control round trip (span)
+  Flight,          // transport traversal; dur = latency + wire time (span)
+  // ---- injected faults (link tracks, instant) ------------------------------
+  FaultDrop,
+  FaultDuplicate,
+  FaultReorder,
+  FaultCorrupt,
+  // ---- receive window (link tracks, instant) -------------------------------
+  DedupDrop,          // duplicate/stale frame discarded by the window
+  DedupLateRecovery,  // delayed frame below a forced horizon delivered
+};
+
+std::string_view to_string(EventKind k);
+
+struct Event {
+  static constexpr std::uint32_t kNoCallsite = 0xffffffffu;
+
+  EventKind kind = EventKind::Call;
+  TrackKind track = TrackKind::Machine;
+  std::uint16_t machine = 0;  // machine track: the machine; link track: src
+  std::uint16_t peer = 0;     // link track: dst (unused on machine tracks)
+  std::int64_t start_ns = 0;  // virtual start
+  std::int64_t dur_ns = 0;    // virtual duration; 0 for instant events
+
+  // Optional dimensions; 0 / kNoCallsite when not meaningful.
+  std::uint32_t callsite = kNoCallsite;
+  std::uint32_t seq = 0;       // RMI sequence number or link_seq
+  std::uint32_t count = 0;     // e.g. messages coalesced into a frame
+  std::uint64_t bytes = 0;     // wire/payload bytes the event moved
+  std::uint64_t reuse_hits = 0;      // reuse-cache hits in the pass (§3.3)
+  std::uint64_t cycle_lookups = 0;   // cycle-table probes in the pass (§3.2)
+  std::int64_t real_ns = 0;    // measured wall-clock duration (passes only)
+};
+
+// The hook every layer holds (as a possibly-null pointer).  Implementations
+// must be thread-safe: dispatchers, executors and app threads record
+// concurrently.  record() must not throw.
+class Recorder {
+ public:
+  virtual ~Recorder() = default;
+  virtual void record(const Event& e) noexcept = 0;
+};
+
+// Context for tracing one (de)serialization pass, carried by
+// serial::SerialWriter / serial::SerialReader (one instance == one pass).
+// The serializer emits a Serialize/Deserialize event when the pass ends:
+// virtual duration from its event counts under `cost` (exactly what the
+// runtime charges afterwards), real duration from a steady clock.
+struct PassTrace {
+  Recorder* recorder = nullptr;  // null => the pass is not traced
+  EventKind kind = EventKind::Serialize;
+  std::uint16_t machine = 0;
+  std::uint32_t callsite = Event::kNoCallsite;
+  std::uint32_t seq = 0;
+  std::int64_t virtual_start_ns = 0;
+  const serial::CostModel* cost = nullptr;
+};
+
+}  // namespace rmiopt::trace

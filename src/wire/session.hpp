@@ -29,12 +29,14 @@
 // paper's deterministic numbers are untouched bit for bit.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <mutex>
 #include <optional>
 #include <set>
 
+#include "trace/trace.hpp"
 #include "wire/framing.hpp"
 
 namespace rmiopt::wire {
@@ -108,14 +110,25 @@ class Session {
   // Frames this session had to retransmit (0 on a healthy link).
   std::uint64_t retransmits() const;
 
+  // Attaches a trace recorder (nullptr detaches).  `now_ns` supplies the
+  // sending machine's virtual clock — the session is a wire-layer object
+  // and has no clock of its own.  Call before traffic flows.
+  void set_trace(trace::Recorder* recorder,
+                 std::function<std::int64_t()> now_ns);
+
  private:
   bool coalescible(const Message& msg) const;
   void seal_and_emit(const FrameSink& sink);  // callers hold mu_
+  void trace_event(trace::EventKind kind, std::uint64_t link_seq,
+                   std::int64_t dur_ns, std::uint64_t bytes,
+                   std::uint32_t count) const;
 
   const std::uint16_t src_;
   const std::uint16_t dst_;
   const SessionConfig cfg_;
   const ChargeFn charge_;
+  trace::Recorder* recorder_ = nullptr;
+  std::function<std::int64_t()> now_ns_;
 
   mutable std::mutex mu_;
   std::uint64_t next_link_seq_ = 0;
@@ -130,6 +143,14 @@ class Session {
 // arriving after the window moved past it) are discarded by the
 // transport and only counted.  One instance per directed link, owned by
 // the receiving machine.
+//
+// When the out-of-order set outgrows `capacity`, the horizon is *forced*
+// forward.  A forced slide can jump over sequence-number gaps — frames
+// that have not arrived yet, merely delayed.  Those skipped-over
+// sequences are remembered (bounded by the same capacity) so a delayed
+// frame in the gap is still classified Fresh and delivered exactly once,
+// instead of being misreported as Stale and silently dropped until the
+// sender's retransmit budget dies.
 class DedupWindow {
  public:
   enum class Verdict { Fresh, Duplicate, Stale };
@@ -137,7 +158,17 @@ class DedupWindow {
   explicit DedupWindow(std::size_t capacity = 512) : capacity_(capacity) {}
 
   Verdict accept(std::uint64_t seq) {
-    if (seq < horizon_) return Verdict::Stale;
+    if (seq < horizon_) {
+      // Below the horizon: either this sequence was delivered (or its
+      // skipped-entry expired) — genuinely stale — or the horizon was
+      // forced past it before it ever arrived.  The latter is a
+      // merely-delayed frame: deliver it now, exactly once.
+      auto it = skipped_.find(seq);
+      if (it == skipped_.end()) return Verdict::Stale;
+      skipped_.erase(it);
+      ++late_recoveries_;
+      return Verdict::Fresh;
+    }
     if (!seen_.insert(seq).second) return Verdict::Duplicate;
     // Advance the horizon over any now-contiguous prefix, then bound the
     // out-of-order set by sliding the horizon forcibly.
@@ -146,19 +177,44 @@ class DedupWindow {
       ++horizon_;
     }
     while (seen_.size() > capacity_) {
-      horizon_ = *seen_.begin() + 1;
+      ++forced_slides_;
+      const std::uint64_t next = *seen_.begin();
+      // Remember the skipped-over (never-delivered) sequences in the gap,
+      // keeping at most `capacity_` of the newest; anything older expires
+      // and becomes permanently stale (bounded memory beats unbounded
+      // recovery — the ARQ gives up on such frames anyway).
+      const std::uint64_t gap = next - horizon_;
+      const std::uint64_t keep = std::min<std::uint64_t>(gap, capacity_);
+      skipped_expired_ += gap - keep;
+      for (std::uint64_t s = next - keep; s < next; ++s) skipped_.insert(s);
+      horizon_ = next + 1;
       seen_.erase(seen_.begin());
+      while (skipped_.size() > capacity_) {
+        skipped_.erase(skipped_.begin());
+        ++skipped_expired_;
+      }
     }
     return Verdict::Fresh;
   }
 
-  // Everything below this sequence was delivered or declared stale.
+  // Everything below this sequence was delivered, recovered, or expired.
   std::uint64_t horizon() const { return horizon_; }
+
+  // Times the horizon was forced past the oldest out-of-order entry.
+  std::uint64_t forced_slides() const { return forced_slides_; }
+  // Delayed frames below a forced horizon that were still delivered.
+  std::uint64_t late_recoveries() const { return late_recoveries_; }
+  // Skipped-over sequences that aged out before (re)arriving.
+  std::uint64_t skipped_expired() const { return skipped_expired_; }
 
  private:
   const std::size_t capacity_;
   std::uint64_t horizon_ = 0;
-  std::set<std::uint64_t> seen_;  // received seqs at/above the horizon
+  std::uint64_t forced_slides_ = 0;
+  std::uint64_t late_recoveries_ = 0;
+  std::uint64_t skipped_expired_ = 0;
+  std::set<std::uint64_t> seen_;     // received seqs at/above the horizon
+  std::set<std::uint64_t> skipped_;  // forced-past, never-delivered seqs
 };
 
 }  // namespace rmiopt::wire

@@ -70,6 +70,69 @@ TEST(DedupWindow, CapacityBoundForcesTheHorizonForward) {
   EXPECT_EQ(w.accept(11), wire::DedupWindow::Verdict::Fresh);
 }
 
+// Regression: a forced horizon slide skips over sequences that were never
+// delivered.  Those gap sequences used to be classified Stale when their
+// (delayed or retransmitted) frame finally arrived — a silently dropped
+// message.  The window now remembers skipped-over sequences and admits
+// them exactly once.
+TEST(DedupWindow, ForcedSlideKeepsSkippedSequencesRecoverable) {
+  wire::DedupWindow w(/*capacity=*/4);
+  EXPECT_EQ(w.accept(0), wire::DedupWindow::Verdict::Fresh);
+  // 5..8 pile up out of order; 9 overflows the window and forces the
+  // horizon past the still-missing 1..4.
+  for (std::uint64_t s = 5; s <= 9; ++s) {
+    EXPECT_EQ(w.accept(s), wire::DedupWindow::Verdict::Fresh);
+  }
+  EXPECT_EQ(w.forced_slides(), 1u);
+  // The stragglers arrive after the slide: each delivers exactly once.
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    EXPECT_EQ(w.accept(s), wire::DedupWindow::Verdict::Fresh) << "seq " << s;
+    EXPECT_EQ(w.accept(s), wire::DedupWindow::Verdict::Stale) << "seq " << s;
+  }
+  EXPECT_EQ(w.late_recoveries(), 4u);
+  EXPECT_EQ(w.skipped_expired(), 0u);
+}
+
+// Sustained heavy reorder: every batch of 5 frames overtakes the 4 before
+// it, forcing a slide per batch.  Every sequence must still deliver
+// exactly once — no drops (Stale on first arrival), no double delivery.
+TEST(DedupWindow, HeavyReorderDeliversEveryFrameExactlyOnce) {
+  wire::DedupWindow w(/*capacity=*/4);
+  std::uint64_t accepted = 0;
+  auto deliver = [&](std::uint64_t s) {
+    if (w.accept(s) == wire::DedupWindow::Verdict::Fresh) ++accepted;
+    // A second copy of the same frame must never deliver again.
+    EXPECT_NE(w.accept(s), wire::DedupWindow::Verdict::Fresh) << "seq " << s;
+  };
+  deliver(0);
+  constexpr std::uint64_t kRounds = 50;
+  for (std::uint64_t base = 1; base < 1 + 9 * kRounds; base += 9) {
+    for (std::uint64_t s = base + 4; s <= base + 8; ++s) deliver(s);
+    for (std::uint64_t s = base; s <= base + 3; ++s) deliver(s);
+  }
+  EXPECT_EQ(accepted, 1 + 9 * kRounds);  // exactly once, every frame
+  EXPECT_EQ(w.forced_slides(), kRounds);
+  EXPECT_EQ(w.late_recoveries(), 4 * kRounds);
+  EXPECT_EQ(w.skipped_expired(), 0u);
+}
+
+// The recovery set is bounded: a slide over a gap wider than the window
+// keeps only the newest `capacity` skipped sequences and counts the rest
+// as expired — those are the only frames the window may still drop, and
+// the counter makes the loss observable.
+TEST(DedupWindow, SkippedSetIsBoundedAndExpiredGapsStayStale) {
+  wire::DedupWindow w(/*capacity=*/4);
+  EXPECT_EQ(w.accept(0), wire::DedupWindow::Verdict::Fresh);
+  for (std::uint64_t s = 100; s <= 104; ++s) {
+    EXPECT_EQ(w.accept(s), wire::DedupWindow::Verdict::Fresh);
+  }
+  EXPECT_EQ(w.forced_slides(), 1u);
+  EXPECT_EQ(w.skipped_expired(), 95u);  // gap 1..99 minus the kept 96..99
+  EXPECT_EQ(w.accept(97), wire::DedupWindow::Verdict::Fresh);  // kept tail
+  EXPECT_EQ(w.accept(50), wire::DedupWindow::Verdict::Stale);  // expired
+  EXPECT_EQ(w.late_recoveries(), 1u);
+}
+
 // ---- FaultPlan --------------------------------------------------------------
 
 TEST(FaultPlan, DiceAreAPureFunctionOfTheFrameIdentity) {
@@ -418,6 +481,73 @@ TEST_F(AtMostOnceTest, DuplicateOfAnInFlightCallIsDropped) {
   const auto callee = sys.stats(1);
   EXPECT_EQ(callee.duplicate_calls, 1u);
   EXPECT_EQ(callee.replayed_replies, 0u);  // nothing to replay yet
+}
+
+// Regression: with more concurrent in-flight calls than the reply cache
+// holds, FIFO eviction used to release entries whose handler was still
+// running (or deferred) — a duplicate arriving then was admitted as a
+// fresh call and the handler ran twice.  In-flight entries are now
+// pinned: eviction skips (and counts) them until they reply.
+TEST(ReplyCachePinning, InFlightEntriesSurviveEvictionPastCapacity) {
+  om::TypeRegistry types;
+  net::Cluster cluster(2, types);
+  rmi::ExecutorConfig exec;
+  exec.reply_cache_capacity = 2;  // tiny: 5 concurrent calls overflow it
+  rmi::RmiSystem sys(cluster, types, exec);
+
+  std::atomic<int> executions{0};
+  const auto mid = sys.define_method(
+      "park", [&](rmi::CallContext&, auto, auto) {
+        ++executions;
+        return rmi::HandlerResult{.deferred = true};  // never replies
+      });
+  rmi::CompiledCallSite cs;
+  cs.method_id = mid;
+  cs.plan = std::make_unique<serial::CallSitePlan>();
+  cs.plan->name = "pin.site";
+  const auto site = sys.add_callsite(std::move(cs));
+  const rmi::RemoteRef ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc_string("t"));
+  sys.start();
+
+  auto craft = [&](std::uint32_t seq) {
+    wire::Message m;
+    m.header.kind = wire::MsgKind::Call;
+    m.header.callsite_id = site;
+    m.header.target_export = ref.export_id;
+    m.header.seq = seq;
+    m.header.source_machine = 0;
+    m.header.dest_machine = 1;
+    m.payload.put_varint(0);  // no scalars
+    return m;
+  };
+  auto wait_until = [](const std::function<bool()>& done) {
+    for (int i = 0; i < 5000 && !done(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(done());
+  };
+
+  constexpr int kCalls = 5;  // all deferred: all 5 in flight at once
+  for (std::uint32_t seq = 1; seq <= kCalls; ++seq) {
+    cluster.send(craft(seq));
+  }
+  wait_until([&] { return executions.load() == kCalls; });
+  // Admitting calls 3..5 pushed the cache past capacity; eviction must
+  // have skipped (and counted) the pinned in-flight entries.
+  EXPECT_GT(sys.stats(1).reply_cache_pins, 0u);
+
+  // Duplicates of every call — including the oldest, which unpinned FIFO
+  // eviction would have forgotten — must be suppressed.
+  for (std::uint32_t seq = 1; seq <= kCalls; ++seq) {
+    cluster.send(craft(seq));
+  }
+  wait_until([&] { return sys.stats(1).duplicate_calls >= kCalls; });
+  sys.stop();
+
+  EXPECT_EQ(executions.load(), kCalls);  // no handler ever ran twice
+  EXPECT_EQ(sys.stats(1).duplicate_calls, 5u);
+  EXPECT_EQ(sys.stats(1).replayed_replies, 0u);  // none had replied yet
 }
 
 TEST_F(AtMostOnceTest, StrayReplyIsCountedNotFatal) {
