@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -97,6 +98,28 @@ inline void print_stats_table(const std::string& title,
                std::to_string(s.serial.serializer_invocations)});
   }
   std::printf("%s\n", t.render().c_str());
+}
+
+// Prints the compile pipeline's pass/cache counters summed over a level
+// sweep — opt-in via RMIOPT_COMPILE_STATS=1, so default table output
+// stays byte-for-bit identical run to run.  Only the deterministic
+// counters are printed; per-pass wall time varies and never appears.
+inline void print_compile_table(const std::vector<LevelRun>& runs) {
+  const char* env = std::getenv("RMIOPT_COMPILE_STATS");
+  if (env == nullptr || env[0] == '\0' || env[0] == '0') return;
+  driver::CompileStats total;
+  for (const auto& run : runs) total += run.result.compile;
+  TextTable t({"pass", "executions", "cache hits", "cache misses"});
+  for (std::size_t i = 0; i < driver::kPassCount; ++i) {
+    const auto id = static_cast<driver::PassId>(i);
+    const auto& p = total.pass(id);
+    t.add_row({std::string(driver::to_string(id)),
+               std::to_string(p.executions), std::to_string(p.cache_hits),
+               std::to_string(p.cache_misses)});
+  }
+  std::printf("compile pipeline (level-sweep totals; fixpoint iterations %s)\n%s\n",
+              std::to_string(total.fixpoint_iterations).c_str(),
+              t.render().c_str());
 }
 
 inline void print_paper_reference(const std::string& caption,

@@ -5,7 +5,9 @@
 // collapsing to ~0 with elision; allocation volume unchanged by reuse
 // (the arguments escape into the queue).
 #include "apps/superopt.hpp"
+#include "apps/paper_figures.hpp"
 #include "bench/bench_common.hpp"
+#include "driver/pass_manager.hpp"
 
 int main() {
   using namespace rmiopt;
@@ -24,12 +26,19 @@ int main() {
        "site + reuse + cycle  2            5250554     5250570      1101    "
        " 17"});
 
+  // One shared model + pass manager for the whole level sweep: the
+  // analyses run once and every level's plan generation reuses them.
+  apps::figures::FigureProgram model = apps::figures::make_superopt_model();
+  driver::PassManager pm;
   apps::SuperoptConfig cfg;
+  cfg.model = &model;
+  cfg.pass_manager = &pm;
   cfg.max_len = 2;
   const auto runs = bench::run_levels(
       [&](bench::OptLevel l) { return apps::run_superopt(l, cfg); });
   bench::print_stats_table(
       "Reproduction: superoptimizer, <=2-instruction search, 2 machines",
       runs);
+  bench::print_compile_table(runs);
   return 0;
 }

@@ -53,8 +53,11 @@ RunResult run_lu(codegen::OptLevel level, const LuConfig& cfg) {
   const std::size_t P = cfg.machines;
   RMIOPT_CHECK(P >= 1 && n >= 2, "LU needs >=1 machine and n>=2");
 
-  figures::FigureProgram model = figures::make_lu_model();
-  driver::CompiledProgram prog = driver::compile(*model.module, level);
+  figures::FigureProgram local_model;
+  if (cfg.model == nullptr) local_model = figures::make_lu_model();
+  const figures::FigureProgram& model = cfg.model ? *cfg.model : local_model;
+  driver::CompiledProgram prog =
+      compile_model(model, level, cfg.model ? cfg.pass_manager : nullptr);
 
   net::Cluster cluster(P, *model.types, cfg.cost, cfg.transport, {},
                        cfg.faults);
@@ -138,7 +141,7 @@ RunResult run_lu(codegen::OptLevel level, const LuConfig& cfg) {
   // One exported "LU" object per machine (its methods above act on the
   // machine's LuMachine state); the barrier object lives on machine 0.
   std::vector<rmi::RemoteRef> lu_refs;
-  const om::ClassId lu_cls = model.types->define_class("LU", {});
+  const om::ClassId lu_cls = marker_class(*model.types, "LU");
   for (std::size_t m = 0; m < P; ++m) {
     lu_refs.push_back(sys.export_object(
         static_cast<std::uint16_t>(m),
@@ -236,6 +239,7 @@ RunResult run_lu(codegen::OptLevel level, const LuConfig& cfg) {
   }
 
   RunResult r = collect_run(cluster, sys);
+  r.compile = prog.stats;
   r.check = residual;
   return r;
 }

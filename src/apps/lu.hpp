@@ -13,7 +13,15 @@
 #include "codegen/opt_level.hpp"
 #include "net/transport.hpp"
 
+namespace rmiopt::driver {
+class PassManager;
+}
+
 namespace rmiopt::apps {
+
+namespace figures {
+struct FigureProgram;
+}
 
 struct LuConfig {
   std::size_t n = 64;          // matrix dimension (paper: 1024)
@@ -29,6 +37,14 @@ struct LuConfig {
   net::FaultPlan faults{};     // seeded fault injection (inert by default)
   // Optional trace recorder (nullptr = tracing off, zero overhead).
   trace::Recorder* recorder = nullptr;
+  // Optional shared IR model (nullptr = build a fresh one per run).  Must
+  // outlive any PassManager that compiled it (see driver/pass_manager.hpp).
+  figures::FigureProgram* model = nullptr;
+  // Optional shared pass manager: analyses and plans are then cached
+  // across runs and levels (nullptr = one-shot driver::compile).  Honored
+  // only together with `model` — a caching manager must never hold
+  // analyses of a run-local module that dies with the run.
+  driver::PassManager* pass_manager = nullptr;
 };
 
 // RunResult::check is the maximum |L·U - A| residual entry (machine 0's

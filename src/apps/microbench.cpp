@@ -8,9 +8,11 @@ namespace rmiopt::apps {
 
 RunResult run_list_bench(codegen::OptLevel level, const ListBenchConfig& cfg) {
   RMIOPT_CHECK(cfg.machines >= 2, "microbenchmarks need >= 2 machines");
-  figures::FigureProgram model = figures::make_figure14();
-  driver::CompiledProgram prog = driver::compile(
-      *model.module, level,
+  figures::FigureProgram local_model;
+  if (cfg.model == nullptr) local_model = figures::make_figure14();
+  const figures::FigureProgram& model = cfg.model ? *cfg.model : local_model;
+  driver::CompiledProgram prog = compile_model(
+      model, level, cfg.model ? cfg.pass_manager : nullptr,
       driver::CompileOptions{.precise_cycles = cfg.precise_cycles});
 
   net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport,
@@ -31,7 +33,7 @@ RunResult run_list_bench(codegen::OptLevel level, const ListBenchConfig& cfg) {
 
   om::Heap& h1 = cluster.machine(1).heap();
   const rmi::RemoteRef foo = sys.export_object(
-      1, h1.alloc(model.types->define_class("Foo", {})));
+      1, h1.alloc(marker_class(*model.types, "Foo")));
   sys.start();
 
   // Build the list once on machine 0 (same shape every call — the reuse
@@ -52,6 +54,7 @@ RunResult run_list_bench(codegen::OptLevel level, const ListBenchConfig& cfg) {
   sys.stop();
 
   RunResult r = collect_run(cluster, sys);
+  r.compile = prog.stats;
   r.check = static_cast<double>(received);
   h0.free_graph(head);
   return r;
@@ -60,8 +63,11 @@ RunResult run_list_bench(codegen::OptLevel level, const ListBenchConfig& cfg) {
 RunResult run_array_bench(codegen::OptLevel level,
                           const ArrayBenchConfig& cfg) {
   RMIOPT_CHECK(cfg.machines >= 2, "microbenchmarks need >= 2 machines");
-  figures::FigureProgram model = figures::make_figure12();
-  driver::CompiledProgram prog = driver::compile(*model.module, level);
+  figures::FigureProgram local_model;
+  if (cfg.model == nullptr) local_model = figures::make_figure12();
+  const figures::FigureProgram& model = cfg.model ? *cfg.model : local_model;
+  driver::CompiledProgram prog =
+      compile_model(model, level, cfg.model ? cfg.pass_manager : nullptr);
 
   net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport,
                        {}, cfg.faults);
@@ -83,7 +89,7 @@ RunResult run_array_bench(codegen::OptLevel level,
 
   om::Heap& h1 = cluster.machine(1).heap();
   const rmi::RemoteRef target = sys.export_object(
-      1, h1.alloc(model.types->define_class("ArrayBench", {})));
+      1, h1.alloc(marker_class(*model.types, "ArrayBench")));
   sys.start();
 
   om::Heap& h0 = cluster.machine(0).heap();
@@ -117,6 +123,7 @@ RunResult run_array_bench(codegen::OptLevel level,
   sys.stop();
 
   RunResult r = collect_run(cluster, sys);
+  r.compile = prog.stats;
   r.check = checksum;  // sum of i = iters*(iters-1)/2 when delivered right
   h0.free_graph(mat);
   if (alt != nullptr) h0.free_graph(alt);

@@ -11,7 +11,15 @@
 #include "codegen/opt_level.hpp"
 #include "net/transport.hpp"
 
+namespace rmiopt::driver {
+class PassManager;
+}
+
 namespace rmiopt::apps {
+
+namespace figures {
+struct FigureProgram;
+}
 
 struct ListBenchConfig {
   int list_length = 100;   // paper: 100 elements
@@ -25,6 +33,14 @@ struct ListBenchConfig {
   net::FaultPlan faults{};  // seeded fault injection (inert by default)
   // Optional trace recorder (nullptr = tracing off, zero overhead).
   trace::Recorder* recorder = nullptr;
+  // Optional shared IR model (nullptr = build a fresh one per run).  Must
+  // outlive any PassManager that compiled it (see driver/pass_manager.hpp).
+  figures::FigureProgram* model = nullptr;
+  // Optional shared pass manager: analyses and plans are then cached
+  // across runs and levels (nullptr = one-shot driver::compile).  Honored
+  // only together with `model` — a caching manager must never hold
+  // analyses of a run-local module that dies with the run.
+  driver::PassManager* pass_manager = nullptr;
 };
 
 RunResult run_list_bench(codegen::OptLevel level,
@@ -44,6 +60,14 @@ struct ArrayBenchConfig {
   net::FaultPlan faults{};  // seeded fault injection (inert by default)
   // Optional trace recorder (nullptr = tracing off, zero overhead).
   trace::Recorder* recorder = nullptr;
+  // Optional shared IR model (nullptr = build a fresh one per run).  Must
+  // outlive any PassManager that compiled it (see driver/pass_manager.hpp).
+  figures::FigureProgram* model = nullptr;
+  // Optional shared pass manager: analyses and plans are then cached
+  // across runs and levels (nullptr = one-shot driver::compile).  Honored
+  // only together with `model` — a caching manager must never hold
+  // analyses of a run-local module that dies with the run.
+  driver::PassManager* pass_manager = nullptr;
 };
 
 RunResult run_array_bench(codegen::OptLevel level,

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "driver/compile_stats.hpp"
 #include "net/transport.hpp"
 #include "rmi/stats.hpp"
 #include "support/sim_time.hpp"
@@ -18,6 +19,13 @@ struct RunResult {
   net::NetworkStats::Snapshot net;  // full traffic + fault counters
   std::uint64_t failovers = 0;      // app-level re-routes around dead nodes
   double check = 0.0;               // app-specific correctness value
+
+  // The compile that produced this run's call sites: per-pass executions,
+  // cache hits/misses and wall time (see driver/compile_stats.hpp).
+  driver::CompileStats compile;
+  // Per-call-site runtime profile, keyed by compile-time tag — the input
+  // to driver::PassManager::respecialize.
+  rmi::CallSiteProfile profile;
 };
 
 }  // namespace rmiopt::apps

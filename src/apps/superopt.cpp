@@ -111,8 +111,11 @@ std::uint64_t sop_candidates_per_length() {
 }
 
 RunResult run_superopt(codegen::OptLevel level, const SuperoptConfig& cfg) {
-  figures::FigureProgram model = figures::make_superopt_model();
-  driver::CompiledProgram prog = driver::compile(*model.module, level);
+  figures::FigureProgram local_model;
+  if (cfg.model == nullptr) local_model = figures::make_superopt_model();
+  const figures::FigureProgram& model = cfg.model ? *cfg.model : local_model;
+  driver::CompiledProgram prog =
+      compile_model(model, level, cfg.model ? cfg.pass_manager : nullptr);
 
   const SopProgram target =
       cfg.target.empty()
@@ -198,7 +201,7 @@ RunResult run_superopt(codegen::OptLevel level, const SuperoptConfig& cfg) {
   const auto test_site = sys.add_callsite(
       driver::to_runtime_site(prog, model.tag("test"), test_method));
 
-  const om::ClassId tester_cls = model.types->define_class("Tester", {});
+  const om::ClassId tester_cls = marker_class(*model.types, "Tester");
   std::vector<rmi::RemoteRef> tester_refs;
   for (std::size_t t = 0; t < testers; ++t) {
     tester_refs.push_back(
@@ -286,6 +289,7 @@ RunResult run_superopt(codegen::OptLevel level, const SuperoptConfig& cfg) {
   sys.stop();
 
   RunResult r = collect_run(cluster, sys);
+  r.compile = prog.stats;
   r.check = static_cast<double>(equivalences.load());
   return r;
 }

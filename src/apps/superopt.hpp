@@ -16,7 +16,15 @@
 #include "codegen/opt_level.hpp"
 #include "net/transport.hpp"
 
+namespace rmiopt::driver {
+class PassManager;
+}
+
 namespace rmiopt::apps {
+
+namespace figures {
+struct FigureProgram;
+}
 
 // The tiny target ISA.
 enum class SopOp : std::int32_t { Add, Sub, And, Or, Xor, Mov, Shl };
@@ -53,6 +61,14 @@ struct SuperoptConfig {
   net::FaultPlan faults{};     // seeded fault injection (inert by default)
   // Optional trace recorder (nullptr = tracing off, zero overhead).
   trace::Recorder* recorder = nullptr;
+  // Optional shared IR model (nullptr = build a fresh one per run).  Must
+  // outlive any PassManager that compiled it (see driver/pass_manager.hpp).
+  figures::FigureProgram* model = nullptr;
+  // Optional shared pass manager: analyses and plans are then cached
+  // across runs and levels (nullptr = one-shot driver::compile).  Honored
+  // only together with `model` — a caching manager must never hold
+  // analyses of a run-local module that dies with the run.
+  driver::PassManager* pass_manager = nullptr;
 };
 
 // RunResult::check = number of equivalent sequences found (deterministic

@@ -26,8 +26,11 @@ std::string url_for(std::size_t page) {
 
 RunResult run_webserver(codegen::OptLevel level, const WebserverConfig& cfg) {
   RMIOPT_CHECK(cfg.machines >= 2, "webserver needs a master and a slave");
-  figures::FigureProgram model = figures::make_webserver_model();
-  driver::CompiledProgram prog = driver::compile(*model.module, level);
+  figures::FigureProgram local_model;
+  if (cfg.model == nullptr) local_model = figures::make_webserver_model();
+  const figures::FigureProgram& model = cfg.model ? *cfg.model : local_model;
+  driver::CompiledProgram prog =
+      compile_model(model, level, cfg.model ? cfg.pass_manager : nullptr);
 
   net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport,
                        {}, cfg.faults);
@@ -76,7 +79,7 @@ RunResult run_webserver(codegen::OptLevel level, const WebserverConfig& cfg) {
       driver::to_runtime_site(prog, model.tag("get_page"), get_page));
   const bool ret_reused = sys.callsite(site).plan->reuse_ret;
 
-  const om::ClassId server_cls = model.types->define_class("Server", {});
+  const om::ClassId server_cls = marker_class(*model.types, "Server");
   std::vector<rmi::RemoteRef> servers;
   for (std::size_t s = 1; s < cfg.machines; ++s) {
     servers.push_back(
@@ -198,6 +201,7 @@ RunResult run_webserver(codegen::OptLevel level, const WebserverConfig& cfg) {
   sys.stop();
 
   RunResult r = collect_run(cluster, sys);
+  r.compile = prog.stats;
   r.failovers = failovers;
   r.check = static_cast<double>(bytes_received.load());
   RMIOPT_CHECK(misses.load() == 0, "webserver served a 404");

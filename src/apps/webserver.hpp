@@ -12,7 +12,15 @@
 #include "codegen/opt_level.hpp"
 #include "net/transport.hpp"
 
+namespace rmiopt::driver {
+class PassManager;
+}
+
 namespace rmiopt::apps {
+
+namespace figures {
+struct FigureProgram;
+}
 
 struct WebserverConfig {
   std::size_t machines = 2;     // master + (machines-1) slaves
@@ -30,6 +38,14 @@ struct WebserverConfig {
   std::int64_t call_timeout_ms = 30'000;
   // Optional trace recorder (nullptr = tracing off, zero overhead).
   trace::Recorder* recorder = nullptr;
+  // Optional shared IR model (nullptr = build a fresh one per run).  Must
+  // outlive any PassManager that compiled it (see driver/pass_manager.hpp).
+  figures::FigureProgram* model = nullptr;
+  // Optional shared pass manager: analyses and plans are then cached
+  // across runs and levels (nullptr = one-shot driver::compile).  Honored
+  // only together with `model` — a caching manager must never hold
+  // analyses of a run-local module that dies with the run.
+  driver::PassManager* pass_manager = nullptr;
 };
 
 // RunResult::check = total page bytes received by the master; a correct

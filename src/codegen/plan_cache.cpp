@@ -1,0 +1,31 @@
+#include "codegen/plan_cache.hpp"
+
+namespace rmiopt::codegen {
+
+const std::map<std::uint32_t, CallSiteDecision>* PlanCache::find(
+    const PlanKey& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void PlanCache::insert(
+    const PlanKey& key,
+    const std::map<std::uint32_t, CallSiteDecision>& decisions) {
+  std::map<std::uint32_t, CallSiteDecision> copy;
+  for (const auto& [tag, decision] : decisions) {
+    copy.emplace(tag, decision.clone());
+  }
+  entries_[key] = std::move(copy);
+}
+
+void PlanCache::invalidate(std::uint64_t fingerprint) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.fingerprint == fingerprint) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace rmiopt::codegen

@@ -1,0 +1,52 @@
+// Content-keyed cache of per-call-site marshal plans (the codegen half of
+// the pass manager's memoization).
+//
+// Key: (module fingerprint, optimization level, precise-cycles option) —
+// exactly the inputs plan generation consumes on top of the analyses,
+// which are themselves keyed by the same fingerprint.  A hit hands back
+// deep clones of the stored CallSiteDecisions, so cached and fresh
+// compiles are interchangeable by construction: the stored decisions were
+// produced by PlanGenerator::generate and clones are structurally
+// byte-identical (tests/pass_manager_test.cpp and bench/ablation_compile
+// assert this via codegen::to_string).
+#pragma once
+
+#include <map>
+
+#include "codegen/plan_generator.hpp"
+
+namespace rmiopt::codegen {
+
+struct PlanKey {
+  std::uint64_t fingerprint = 0;
+  OptLevel level = OptLevel::Class;
+  bool precise_cycles = false;
+
+  friend bool operator<(const PlanKey& a, const PlanKey& b) {
+    if (a.fingerprint != b.fingerprint) return a.fingerprint < b.fingerprint;
+    if (a.level != b.level) return a.level < b.level;
+    return a.precise_cycles < b.precise_cycles;
+  }
+};
+
+class PlanCache {
+ public:
+  // nullptr on miss; the entry (by tag) on hit.  Callers clone what they
+  // keep — entries stay owned by the cache.
+  const std::map<std::uint32_t, CallSiteDecision>* find(
+      const PlanKey& key) const;
+
+  // Stores deep clones of `decisions` under `key` (overwrites).
+  void insert(const PlanKey& key,
+              const std::map<std::uint32_t, CallSiteDecision>& decisions);
+
+  // Drops every level's entry for one module fingerprint.
+  void invalidate(std::uint64_t fingerprint);
+  void clear() { entries_.clear(); }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<PlanKey, std::map<std::uint32_t, CallSiteDecision>> entries_;
+};
+
+}  // namespace rmiopt::codegen

@@ -4,6 +4,46 @@
 
 namespace rmiopt::codegen {
 
+CallSiteDecision CallSiteDecision::clone() const {
+  CallSiteDecision c;
+  c.tag = tag;
+  c.callee_name = callee_name;
+  c.ref_params = ref_params;
+  c.plan = plan ? plan->clone() : nullptr;
+  c.proved_acyclic = proved_acyclic;
+  c.args_reusable = args_reusable;
+  c.ret_reusable = ret_reusable;
+  c.return_elided = return_elided;
+  c.inline_nodes = inline_nodes;
+  c.dynamic_nodes = dynamic_nodes;
+  c.recursive_nodes = recursive_nodes;
+  c.batch_ack = batch_ack;
+  return c;
+}
+
+std::string to_string(const CallSiteDecision& d,
+                      const om::TypeRegistry& types) {
+  std::string out;
+  out += "site tag=" + std::to_string(d.tag) + " callee=" + d.callee_name;
+  out += " ref_params=[";
+  for (std::size_t i = 0; i < d.ref_params.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(d.ref_params[i]);
+  }
+  out += "]";
+  out += std::string(" acyclic=") + (d.proved_acyclic ? "y" : "n");
+  out += std::string(" args_reusable=") + (d.args_reusable ? "y" : "n");
+  out += std::string(" ret_reusable=") + (d.ret_reusable ? "y" : "n");
+  out += std::string(" return_elided=") + (d.return_elided ? "y" : "n");
+  out += std::string(" batch_ack=") + (d.batch_ack ? "y" : "n");
+  out += " inline=" + std::to_string(d.inline_nodes);
+  out += " dynamic=" + std::to_string(d.dynamic_nodes);
+  out += " recursive=" + std::to_string(d.recursive_nodes);
+  out += "\n";
+  if (d.plan != nullptr) out += serial::to_pseudocode(*d.plan, types);
+  return out;
+}
+
 bool PlanGenerator::result_is_used(const ir::Function& caller,
                                    const ir::Instr& call) {
   if (!call.has_result()) return false;

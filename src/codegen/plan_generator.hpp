@@ -40,7 +40,23 @@ struct CallSiteDecision {
   std::size_t inline_nodes = 0;     // fully inlined plan nodes
   std::size_t dynamic_nodes = 0;    // dynamic-dispatch fallback nodes
   std::size_t recursive_nodes = 0;  // inlined monomorphic recursion loops
+
+  // Profile-guided promotion (driver::respecialize): the site's ACK-style
+  // replies may be held back and coalesced by a batching session.  Never
+  // set by a plain compile — the runtime ignores it unless session
+  // batching is on, so the default behaviour is untouched.
+  bool batch_ack = false;
+
+  // Deep copy (the plan cache stores decisions; retrieval clones them).
+  CallSiteDecision clone() const;
 };
+
+// Canonical single-string rendering of everything a decision carries —
+// flags, node counts and the full plan pseudocode.  Two decisions are
+// byte-identical under this rendering iff the compiler made identical
+// choices; the cache-correctness test and the CI cold-vs-cached gate
+// compare exactly these strings.
+std::string to_string(const CallSiteDecision& d, const om::TypeRegistry& types);
 
 class PlanGenerator {
  public:

@@ -1,27 +1,16 @@
 #include "driver/compile.hpp"
 
+#include "driver/pass_manager.hpp"
+
 namespace rmiopt::driver {
 
 CompiledProgram compile(const ir::Module& module, OptLevel level,
                         const CompileOptions& options) {
-  ir::verify(module);
-
-  analysis::HeapAnalysis heap(module);
-  heap.run();
-  analysis::CycleAnalysis cycles(heap, options.precise_cycles);
-  analysis::EscapeAnalysis escapes(heap);
-  codegen::PlanGenerator gen(heap, cycles, escapes);
-
-  CompiledProgram program;
-  program.level = level;
-  program.heap_nodes = heap.node_count();
-  program.fixpoint_iterations = heap.iterations();
-  for (const auto& site : module.remote_call_sites()) {
-    codegen::CallSiteDecision decision = gen.generate(site, level);
-    const std::uint32_t tag = decision.tag;
-    program.sites.emplace(tag, std::move(decision));
-  }
-  return program;
+  PassManager::Options pm_options;
+  pm_options.cache_analyses = false;
+  pm_options.cache_plans = false;
+  PassManager pm(pm_options);
+  return pm.compile(module, level, options);
 }
 
 rmi::CompiledCallSite to_runtime_site(const CompiledProgram& program,
@@ -34,6 +23,8 @@ rmi::CompiledCallSite to_runtime_site(const CompiledProgram& program,
   site.heavy = program.level == OptLevel::Heavy;
   site.site_specific = codegen::site_specific(program.level);
   site.level = program.level;
+  site.tag = tag;
+  site.batch_replies = decision.batch_ack;
   return site;
 }
 

@@ -1,10 +1,17 @@
-// The compiler driver: runs the full analysis pipeline over an IR module
-// and produces, per optimization level, the compiled call sites the RMI
+// The compiler driver: runs the analysis pipeline over an IR module and
+// produces, per optimization level, the compiled call sites the RMI
 // runtime executes.
 //
 //   IR module --verify--> heap analysis (§2) --+--> cycle analysis (§3.2)
 //                                              +--> escape analysis (§3.3)
 //                                              +--> plan generation (§3.1)
+//
+// The pipeline itself lives in driver/pass_manager.hpp: each stage is a
+// registered pass whose results are memoized under the module's content
+// fingerprint.  The `compile()` convenience below runs a one-shot,
+// non-caching pipeline (exactly the historical behaviour); callers that
+// compile one module at several levels — or several identical modules —
+// share analyses by going through a long-lived PassManager instead.
 //
 // The result maps each RemoteCall instruction's call-site *tag* to a
 // CallSiteDecision; applications bind their runtime handlers to the tags
@@ -12,9 +19,12 @@
 #pragma once
 
 #include <map>
+#include <string>
 
 #include "codegen/plan_generator.hpp"
+#include "driver/compile_stats.hpp"
 #include "rmi/runtime.hpp"
+#include "support/error.hpp"
 
 namespace rmiopt::driver {
 
@@ -29,27 +39,38 @@ struct CompileOptions {
 
 struct CompiledProgram {
   OptLevel level = OptLevel::Class;
+  CompileOptions options;        // the options this program was built with
+  std::uint64_t fingerprint = 0;  // ir::Module::fingerprint() of the input
   std::map<std::uint32_t, codegen::CallSiteDecision> sites;  // by tag
 
   // Analysis diagnostics.
   std::size_t heap_nodes = 0;
   std::size_t fixpoint_iterations = 0;
 
+  // Per-pass wall time and cache activity of exactly this compile.
+  CompileStats stats;
+
+  // Tags arrive from application config wiring, so an unknown tag is a
+  // recoverable configuration error, not an internal invariant violation.
   const codegen::CallSiteDecision& site(std::uint32_t tag) const {
     auto it = sites.find(tag);
-    RMIOPT_CHECK(it != sites.end(),
-                 "no compiled call site for tag " + std::to_string(tag));
+    if (it == sites.end()) {
+      throw CompileError("no compiled call site for tag " +
+                         std::to_string(tag));
+    }
     return it->second;
   }
 };
 
 // Verifies `module`, runs the analyses, and generates one plan per remote
-// call site at `level`.
+// call site at `level`.  One-shot: nothing is cached across calls — see
+// driver::PassManager for the shared-analysis path.
 CompiledProgram compile(const ir::Module& module, OptLevel level,
                         const CompileOptions& options = {});
 
 // Converts one compiled call site into the runtime's representation,
-// binding the application's handler.
+// binding the application's handler.  Throws CompileError on a tag the
+// compiler never saw.
 rmi::CompiledCallSite to_runtime_site(const CompiledProgram& program,
                                       std::uint32_t tag,
                                       std::uint32_t method_id);

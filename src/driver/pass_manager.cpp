@@ -1,0 +1,299 @@
+#include "driver/pass_manager.hpp"
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "analysis/cycle_analysis.hpp"
+#include "analysis/escape_analysis.hpp"
+#include "analysis/heap_analysis.hpp"
+
+namespace rmiopt::driver {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One level down in the §3.3 reuse dimension only; every other level has
+// no reuse machinery to demote away.
+OptLevel demoted(OptLevel level) {
+  switch (level) {
+    case OptLevel::SiteReuse:
+      return OptLevel::Site;
+    case OptLevel::SiteReuseCycle:
+      return OptLevel::SiteCycle;
+    default:
+      return level;
+  }
+}
+
+}  // namespace
+
+PassManager::PassManager(const Options& options) : opts_(options) {
+  epoch_ns_ = steady_ns();
+}
+
+PassManager::~PassManager() = default;
+
+std::int64_t PassManager::now_ns() const { return steady_ns() - epoch_ns_; }
+
+void PassManager::trace_pass(PassId id, std::int64_t start_ns,
+                             std::int64_t end_ns) {
+  if (opts_.recorder == nullptr) return;
+  trace::Event e;
+  e.kind = trace::EventKind::CompilePass;
+  e.track = trace::TrackKind::Machine;
+  e.machine = trace::kCompilerTrack;
+  e.start_ns = start_ns;
+  e.dur_ns = end_ns - start_ns;
+  e.seq = static_cast<std::uint32_t>(id);
+  e.real_ns = e.dur_ns;
+  opts_.recorder->record(e);
+}
+
+void PassManager::trace_hit(PassId id) {
+  if (opts_.recorder == nullptr) return;
+  trace::Event e;
+  e.kind = trace::EventKind::CompileCacheHit;
+  e.track = trace::TrackKind::Machine;
+  e.machine = trace::kCompilerTrack;
+  e.start_ns = now_ns();
+  e.seq = static_cast<std::uint32_t>(id);
+  opts_.recorder->record(e);
+}
+
+PassManager::ModuleAnalyses& PassManager::analyses_for(const ir::Module& module,
+                                                       std::uint64_t fp,
+                                                       bool precise,
+                                                       CompileStats& stats) {
+  ModuleAnalyses* entry;
+  if (opts_.cache_analyses) {
+    entry = &analyses_[fp];
+  } else {
+    scratch_ = ModuleAnalyses{};
+    entry = &scratch_;
+  }
+  if (entry->module == nullptr) entry->module = &module;
+  const ir::Module& m = *entry->module;
+  const bool caching = opts_.cache_analyses;
+
+  // verify: no artifact beyond the verdict, so the cached state is a flag.
+  {
+    PassStats& s = stats.pass(PassId::Verify);
+    if (entry->verified) {
+      ++s.cache_hits;
+      trace_hit(PassId::Verify);
+    } else {
+      if (caching) ++s.cache_misses;
+      const std::int64_t t0 = now_ns();
+      ir::verify(m);
+      const std::int64_t t1 = now_ns();
+      ++s.executions;
+      s.wall_ns += t1 - t0;
+      trace_pass(PassId::Verify, t0, t1);
+      entry->verified = true;
+    }
+  }
+
+  // heap: the §2 fixpoint — the expensive shared artifact.
+  {
+    PassStats& s = stats.pass(PassId::Heap);
+    if (entry->heap) {
+      ++s.cache_hits;
+      trace_hit(PassId::Heap);
+    } else {
+      if (caching) ++s.cache_misses;
+      const std::int64_t t0 = now_ns();
+      entry->heap = std::make_shared<analysis::HeapAnalysis>(m);
+      entry->heap->run();
+      const std::int64_t t1 = now_ns();
+      ++s.executions;
+      s.wall_ns += t1 - t0;
+      stats.fixpoint_iterations += entry->heap->iterations();
+      trace_pass(PassId::Heap, t0, t1);
+    }
+  }
+
+  // cycle / precise-cycles: demand-driven query objects over the heap
+  // graph; only the variant this compile asks for is materialized.  The
+  // per-site queries themselves execute inside plangen (see PIPELINE.md).
+  {
+    const PassId id = precise ? PassId::PreciseCycles : PassId::Cycle;
+    std::shared_ptr<analysis::CycleAnalysis>& slot =
+        precise ? entry->precise_cycles : entry->cycles;
+    PassStats& s = stats.pass(id);
+    if (slot) {
+      ++s.cache_hits;
+      trace_hit(id);
+    } else {
+      if (caching) ++s.cache_misses;
+      const std::int64_t t0 = now_ns();
+      slot = std::make_shared<analysis::CycleAnalysis>(*entry->heap, precise);
+      const std::int64_t t1 = now_ns();
+      ++s.executions;
+      s.wall_ns += t1 - t0;
+      trace_pass(id, t0, t1);
+    }
+  }
+
+  // escape (§3.3): likewise a query object over the heap graph.
+  {
+    PassStats& s = stats.pass(PassId::Escape);
+    if (entry->escapes) {
+      ++s.cache_hits;
+      trace_hit(PassId::Escape);
+    } else {
+      if (caching) ++s.cache_misses;
+      const std::int64_t t0 = now_ns();
+      entry->escapes = std::make_shared<analysis::EscapeAnalysis>(*entry->heap);
+      const std::int64_t t1 = now_ns();
+      ++s.executions;
+      s.wall_ns += t1 - t0;
+      trace_pass(PassId::Escape, t0, t1);
+    }
+  }
+
+  return *entry;
+}
+
+const analysis::CycleAnalysis& PassManager::cycles_of(const ModuleAnalyses& a,
+                                                      bool precise) const {
+  return precise ? *a.precise_cycles : *a.cycles;
+}
+
+CompiledProgram PassManager::compile(const ir::Module& module, OptLevel level,
+                                     const CompileOptions& options) {
+  std::scoped_lock lock(mu_);
+  CompiledProgram program;
+  program.level = level;
+  program.options = options;
+  program.fingerprint = module.fingerprint();
+
+  ModuleAnalyses& a = analyses_for(module, program.fingerprint,
+                                   options.precise_cycles, program.stats);
+  program.heap_nodes = a.heap->node_count();
+  program.fixpoint_iterations = a.heap->iterations();
+
+  PassStats& pg = program.stats.pass(PassId::PlanGen);
+  const codegen::PlanKey key{program.fingerprint, level,
+                             options.precise_cycles};
+  const auto* cached = opts_.cache_plans ? plans_.find(key) : nullptr;
+  if (cached != nullptr) {
+    pg.cache_hits += cached->size();
+    trace_hit(PassId::PlanGen);
+    for (const auto& [tag, decision] : *cached) {
+      program.sites.emplace(tag, decision.clone());
+    }
+  } else {
+    codegen::PlanGenerator gen(*a.heap, cycles_of(a, options.precise_cycles),
+                               *a.escapes);
+    const std::int64_t t0 = now_ns();
+    for (const auto& site : a.module->remote_call_sites()) {
+      codegen::CallSiteDecision decision = gen.generate(site, level);
+      ++pg.executions;
+      if (opts_.cache_plans) ++pg.cache_misses;
+      const std::uint32_t tag = decision.tag;
+      program.sites.emplace(tag, std::move(decision));
+    }
+    const std::int64_t t1 = now_ns();
+    pg.wall_ns += t1 - t0;
+    trace_pass(PassId::PlanGen, t0, t1);
+    if (opts_.cache_plans) plans_.insert(key, program.sites);
+  }
+
+  cumulative_ += program.stats;
+  return program;
+}
+
+CompiledProgram PassManager::respecialize(const CompiledProgram& program,
+                                          const ir::Module& module,
+                                          const rmi::CallSiteProfile& profile,
+                                          const RespecializeOptions& options) {
+  std::scoped_lock lock(mu_);
+  CompiledProgram out;
+  out.level = program.level;
+  out.options = program.options;
+  out.fingerprint = module.fingerprint();
+  if (out.fingerprint != program.fingerprint) {
+    throw CompileError(
+        "respecialize: module does not match the compiled program "
+        "(fingerprint mismatch — the module changed; recompile instead)");
+  }
+
+  ModuleAnalyses& a = analyses_for(module, out.fingerprint,
+                                   program.options.precise_cycles, out.stats);
+  out.heap_nodes = a.heap->node_count();
+  out.fixpoint_iterations = a.heap->iterations();
+
+  codegen::PlanGenerator gen(
+      *a.heap, cycles_of(a, program.options.precise_cycles), *a.escapes);
+  PassStats& pg = out.stats.pass(PassId::PlanGen);
+
+  for (const auto& site : a.module->remote_call_sites()) {
+    const std::uint32_t tag = site.instr->callsite_tag;
+    auto it = program.sites.find(tag);
+    if (it == program.sites.end()) continue;  // site the program never had
+    const codegen::CallSiteDecision& old = it->second;
+    const rmi::CallSiteProfileRow* row = profile.row(tag);
+
+    const bool has_reuse =
+        old.plan != nullptr && (old.plan->reuse_args || old.plan->reuse_ret);
+    const bool demote = row != nullptr && has_reuse && row->invocations > 0 &&
+                        row->invocations <= options.cold_reuse_invocations;
+    const bool promote = row != nullptr && old.plan != nullptr &&
+                         old.plan->ret == nullptr && !old.batch_ack &&
+                         row->remote_rpcs >= options.hot_ack_remote_rpcs;
+
+    if (!demote && !promote) {
+      // The profile agrees with the compile-time decision: clone, no pass.
+      out.sites.emplace(tag, old.clone());
+      continue;
+    }
+    const std::int64_t t0 = now_ns();
+    codegen::CallSiteDecision fresh =
+        gen.generate(site, demote ? demoted(program.level) : program.level);
+    const std::int64_t t1 = now_ns();
+    ++pg.executions;
+    pg.wall_ns += t1 - t0;
+    trace_pass(PassId::PlanGen, t0, t1);
+    if (promote && !demote) fresh.batch_ack = true;
+    out.sites.emplace(tag, std::move(fresh));
+  }
+
+  cumulative_ += out.stats;
+  return out;
+}
+
+CompileStats PassManager::stats() const {
+  std::scoped_lock lock(mu_);
+  return cumulative_;
+}
+
+void PassManager::invalidate(std::uint64_t fingerprint) {
+  std::scoped_lock lock(mu_);
+  analyses_.erase(fingerprint);
+  plans_.invalidate(fingerprint);
+}
+
+void PassManager::clear() {
+  std::scoped_lock lock(mu_);
+  analyses_.clear();
+  plans_.clear();
+  scratch_ = ModuleAnalyses{};
+}
+
+std::size_t PassManager::cached_modules() const {
+  std::scoped_lock lock(mu_);
+  return analyses_.size();
+}
+
+std::size_t PassManager::cached_plans() const {
+  std::scoped_lock lock(mu_);
+  return plans_.size();
+}
+
+}  // namespace rmiopt::driver

@@ -1,0 +1,154 @@
+// The compile pipeline as an explicit pass manager.
+//
+// Each stage of the driver pipeline is a registered *pass* with declared
+// inputs:
+//
+//   pass            input                     cached artifact
+//   ------------    ----------------------    -------------------------------
+//   verify          module                    (verdict only — module is ok)
+//   heap            module                    analysis::HeapAnalysis
+//   cycle           heap                      analysis::CycleAnalysis
+//   precise-cycles  heap                      analysis::CycleAnalysis(refined)
+//   escape          heap                      analysis::EscapeAnalysis
+//   plangen         heap+cycle+escape,        per-tag CallSiteDecision map
+//                   level, options            (codegen::PlanCache)
+//
+// Results are memoized under ir::Module::fingerprint(), a content hash of
+// the IR and its descriptor closure: two structurally identical modules
+// share one cache entry, and compiling one module at all five paper levels
+// runs each analysis exactly once.  Plan generation is additionally keyed
+// by (level, precise_cycles) in codegen::PlanCache.  Cached and fresh
+// compiles produce bit-identical plans — the cache stores what the
+// generator produced and hands back deep clones.
+//
+// Lifetime contract: cached analyses reference the module they were built
+// from (`const ir::Module&` members).  A module compiled through a caching
+// PassManager must therefore outlive the manager — own the model and the
+// manager together, or call invalidate()/clear() before dropping the
+// module.  The non-caching configuration (used by driver::compile()) keeps
+// nothing and imposes no such constraint beyond the compile call itself.
+//
+// Profile-guided re-specialization: respecialize() takes a compiled
+// program plus the runtime's rmi::CallSiteProfile and re-runs *only* the
+// plan-generation pass, and only for sites whose compile-time decision the
+// observed profile contradicts (reuse machinery on a site invoked once;
+// fire-and-forget ACK replies on a hot site).  Analyses are reused from
+// the cache; untouched sites are cloned verbatim.  The per-compile
+// CompileStats expose exactly which passes ran, so tests can assert the
+// "recompiles only invalidated call sites" property by counting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "codegen/plan_cache.hpp"
+#include "driver/compile.hpp"
+#include "rmi/stats.hpp"
+#include "trace/trace.hpp"
+
+namespace rmiopt::analysis {
+class HeapAnalysis;
+class CycleAnalysis;
+class EscapeAnalysis;
+}  // namespace rmiopt::analysis
+
+namespace rmiopt::driver {
+
+// Thresholds for profile-guided re-specialization.
+struct RespecializeOptions {
+  // Demote: a site compiled with argument/return reuse (§3.3) whose
+  // profile shows `0 < invocations <= cold_reuse_invocations` never
+  // amortized its reuse cache — recompile it one level down
+  // (SiteReuse -> Site, SiteReuseCycle -> SiteCycle).  Sites with zero
+  // invocations carry no evidence and are left alone.
+  std::uint64_t cold_reuse_invocations = 1;
+
+  // Promote: a site whose return is elided (ACK-only replies) and whose
+  // profile shows at least this many remote calls gets batch_ack — a
+  // batching session may coalesce its ACKs past the payload threshold.
+  std::uint64_t hot_ack_remote_rpcs = 1024;
+};
+
+class PassManager {
+ public:
+  struct Options {
+    bool cache_analyses = true;  // memoize verify/heap/cycle/escape by fp
+    bool cache_plans = true;     // memoize plan generation in a PlanCache
+    // When set, every executed pass emits a CompilePass span (and every
+    // cache hit a CompileCacheHit instant) on trace::kCompilerTrack,
+    // stamped in real nanoseconds since this manager's construction.
+    trace::Recorder* recorder = nullptr;
+  };
+
+  PassManager() : PassManager(Options()) {}
+  explicit PassManager(const Options& options);
+  ~PassManager();
+
+  PassManager(const PassManager&) = delete;
+  PassManager& operator=(const PassManager&) = delete;
+
+  // Runs the pipeline (through the caches, where enabled) and returns the
+  // compiled program.  program.stats records exactly this compile's pass
+  // executions and cache activity.
+  CompiledProgram compile(const ir::Module& module, OptLevel level,
+                          const CompileOptions& options = {});
+
+  // Re-specializes `program` against an observed runtime profile.  The
+  // module must be the one `program` was compiled from (same fingerprint;
+  // throws CompileError otherwise).  Only contradicted sites are
+  // regenerated — out.stats.pass(PassId::PlanGen).executions equals the
+  // number of such sites.  The result is never written to the plan cache:
+  // it reflects one profile, not the module's content.
+  CompiledProgram respecialize(const CompiledProgram& program,
+                               const ir::Module& module,
+                               const rmi::CallSiteProfile& profile,
+                               const RespecializeOptions& options = {});
+
+  // Cumulative stats across every compile()/respecialize() this manager ran.
+  CompileStats stats() const;
+
+  // Drops cached analyses and plans for one module fingerprint (e.g. the
+  // module is about to be mutated or freed) — or everything.
+  void invalidate(std::uint64_t fingerprint);
+  void clear();
+
+  std::size_t cached_modules() const;
+  std::size_t cached_plans() const;
+
+ private:
+  // Every analysis artifact for one module fingerprint.  The analyses are
+  // built against *module (the instance seen first); see the lifetime
+  // contract above.
+  struct ModuleAnalyses {
+    const ir::Module* module = nullptr;
+    bool verified = false;
+    std::shared_ptr<analysis::HeapAnalysis> heap;
+    std::shared_ptr<analysis::CycleAnalysis> cycles;
+    std::shared_ptr<analysis::CycleAnalysis> precise_cycles;
+    std::shared_ptr<analysis::EscapeAnalysis> escapes;
+  };
+
+  // Runs (or replays from cache) verify/heap/cycle/escape for `module`,
+  // charging `stats`.  Returns the entry holding the shared artifacts.
+  ModuleAnalyses& analyses_for(const ir::Module& module, std::uint64_t fp,
+                               bool precise, CompileStats& stats);
+
+  const analysis::CycleAnalysis& cycles_of(const ModuleAnalyses& a,
+                                           bool precise) const;
+
+  std::int64_t now_ns() const;  // real ns since construction
+  void trace_pass(PassId id, std::int64_t start_ns, std::int64_t end_ns);
+  void trace_hit(PassId id);
+
+  mutable std::mutex mu_;
+  Options opts_;
+  std::int64_t epoch_ns_ = 0;  // steady-clock stamp at construction
+  std::map<std::uint64_t, ModuleAnalyses> analyses_;
+  ModuleAnalyses scratch_;  // the non-caching configuration's entry
+  codegen::PlanCache plans_;
+  CompileStats cumulative_;
+};
+
+}  // namespace rmiopt::driver

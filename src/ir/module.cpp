@@ -1,6 +1,58 @@
 #include "ir/module.hpp"
 
+#include <set>
+
+#include "support/hash.hpp"
+
 namespace rmiopt::ir {
+
+namespace {
+
+// Incremental FNV-1a over heterogeneous fields.  Every integral field is
+// widened to 64 bits and strings are length-prefixed, so adjacent fields
+// cannot alias each other's bytes.
+struct Hasher {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+
+  void bytes(const void* data, std::size_t len) { h = fnv1a(data, len, h); }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  void type(const Type& t) {
+    u64(static_cast<std::uint64_t>(t.kind));
+    u64(t.class_id);
+    u64(t.is_void ? 1 : 0);
+  }
+};
+
+// Class ids the IR mentions directly: function signatures, value types,
+// and instruction annotations.
+void collect_direct_classes(const Module& m, std::set<om::ClassId>& out) {
+  auto add = [&](const Type& t) {
+    if (t.kind == om::TypeKind::Ref && t.class_id != om::kNoClass) {
+      out.insert(t.class_id);
+    }
+  };
+  for (std::size_t f = 0; f < m.function_count(); ++f) {
+    const Function& fn = m.function(static_cast<FuncId>(f));
+    for (const Type& p : fn.params) add(p);
+    add(fn.ret);
+    for (const Type& v : fn.value_types) add(v);
+    for (const auto& block : fn.blocks) {
+      for (const Instr& in : block.instrs) {
+        add(in.type);
+        if (in.class_id != om::kNoClass) out.insert(in.class_id);
+      }
+    }
+  }
+  for (std::size_t g = 0; g < m.global_count(); ++g) {
+    add(m.global(static_cast<GlobalId>(g)).type);
+  }
+}
+
+}  // namespace
 
 const Type& Function::value_type(ValueId v) const {
   RMIOPT_CHECK(v < value_types.size(), "unknown SSA value");
@@ -50,6 +102,89 @@ std::vector<Module::RemoteCallRef> Module::remote_call_sites() const {
     }
   }
   return sites;
+}
+
+std::uint64_t Module::fingerprint() const {
+  Hasher hash;
+
+  hash.u64(funcs_.size());
+  for (const auto& f : funcs_) {
+    hash.u64(f->id);
+    hash.str(f->name);
+    hash.u64(f->params.size());
+    for (const Type& p : f->params) hash.type(p);
+    hash.type(f->ret);
+    hash.u64(f->is_remote_method ? 1 : 0);
+    hash.u64(f->value_count);
+    hash.u64(f->blocks.size());
+    for (const auto& block : f->blocks) {
+      hash.str(block.label);
+      hash.u64(block.instrs.size());
+      for (const Instr& in : block.instrs) {
+        hash.u64(static_cast<std::uint64_t>(in.op));
+        hash.u64(in.result);
+        hash.type(in.type);
+        hash.u64(in.operands.size());
+        for (ValueId op : in.operands) hash.u64(op);
+        hash.u64(in.class_id);
+        hash.u64(in.alloc_site);
+        hash.u64(in.field_index);
+        hash.u64(in.global_index);
+        hash.u64(in.callee);
+        hash.u64(in.callsite_tag);
+        hash.u64(static_cast<std::uint64_t>(in.imm));
+      }
+    }
+  }
+
+  hash.u64(globals_.size());
+  for (const Global& g : globals_) {
+    hash.u64(g.id);
+    hash.str(g.name);
+    hash.type(g.type);
+  }
+  hash.u64(alloc_site_counter_);
+
+  // Descriptor closure: the classes the passes may walk — directly
+  // referenced ones plus everything reachable through fields, array
+  // elements and superclasses.  std::set keeps the iteration (and hence
+  // the hash) deterministic.
+  std::set<om::ClassId> closure;
+  collect_direct_classes(*this, closure);
+  std::set<om::ClassId> frontier = closure;
+  while (!frontier.empty()) {
+    std::set<om::ClassId> next;
+    for (om::ClassId id : frontier) {
+      const om::ClassDescriptor& desc = types_.get(id);
+      auto grow = [&](om::ClassId c) {
+        if (c != om::kNoClass && closure.insert(c).second) next.insert(c);
+      };
+      grow(desc.super);
+      grow(desc.elem_class);
+      for (const auto& field : desc.fields) grow(field.ref_class);
+    }
+    frontier = std::move(next);
+  }
+  hash.u64(closure.size());
+  for (om::ClassId id : closure) {
+    const om::ClassDescriptor& desc = types_.get(id);
+    hash.u64(desc.id);
+    hash.str(desc.name);
+    hash.u64(desc.super);
+    hash.u64(desc.instance_size);
+    hash.u64(desc.is_array ? 1 : 0);
+    hash.u64(static_cast<std::uint64_t>(desc.elem_kind));
+    hash.u64(desc.elem_class);
+    hash.u64(desc.is_string ? 1 : 0);
+    hash.u64(desc.fields.size());
+    for (const auto& field : desc.fields) {
+      hash.str(field.name);
+      hash.u64(static_cast<std::uint64_t>(field.kind));
+      hash.u64(field.ref_class);
+      hash.u64(field.offset);
+    }
+  }
+  return hash.h;
 }
 
 }  // namespace rmiopt::ir

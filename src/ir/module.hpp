@@ -67,6 +67,16 @@ class Module {
   };
   std::vector<RemoteCallRef> remote_call_sites() const;
 
+  // Content hash of everything the compiler passes read: every function
+  // (signature, blocks, instructions with all operand/annotation fields),
+  // every global, the allocation-site counter, and the descriptors of the
+  // classes the IR references (closed transitively over fields, array
+  // elements and superclasses).  Two independently built modules with
+  // identical content hash equal; classes defined in the registry but
+  // unreachable from the IR (runtime marker classes) do not perturb the
+  // hash.  The driver's analysis and plan caches key on this.
+  std::uint64_t fingerprint() const;
+
  private:
   const om::TypeRegistry& types_;
   // unique_ptr: Function& returned by add_function stays valid as the

@@ -6,8 +6,15 @@ namespace rmiopt::rmi {
 
 NameService::NameService(RmiSystem& sys, om::TypeRegistry& types)
     : sys_(sys) {
-  refbox_ = types.define_class("rmi/RefBox", {{"machine", om::TypeKind::Int},
-                                              {"export_id", om::TypeKind::Int}});
+  // Find-or-define so a shared TypeRegistry survives repeated runs (the
+  // bench tables reuse one figure model across the whole level sweep).
+  if (const om::ClassDescriptor* d = types.find_by_name("rmi/RefBox")) {
+    refbox_ = d->id;
+  } else {
+    refbox_ = types.define_class("rmi/RefBox",
+                                 {{"machine", om::TypeKind::Int},
+                                  {"export_id", om::TypeKind::Int}});
+  }
 
   const auto bind_method = sys.define_method(
       "rmi/Registry.bind",

@@ -519,6 +519,7 @@ void RmiSystem::send_reply(const ReplyToken& token, om::ObjRef value,
   reply.header.seq = token.seq;
   reply.header.source_machine = token.callee_machine;
   reply.header.dest_machine = token.caller_machine;
+  reply.coalesce_hint = site.batch_replies;
 
   serial::SerialStats pass;
   if (has_ret) {
@@ -816,6 +817,23 @@ std::string RmiSystem::report() const {
     out += line;
   }
   return out;
+}
+
+CallSiteProfile RmiSystem::export_profile() const {
+  CallSiteProfile profile;
+  for (std::size_t id = 0; id < callsites_.size(); ++id) {
+    const std::uint32_t tag = callsites_[id].tag;
+    if (tag == 0) continue;  // hand-built site: no compile-time identity
+    const RmiStatsSnapshot s = callsite_stats(static_cast<std::uint32_t>(id));
+    CallSiteProfileRow& row = profile.by_tag[tag];
+    row.tag = tag;
+    row.invocations += s.local_rpcs + s.remote_rpcs;
+    row.remote_rpcs += s.remote_rpcs;
+    row.reused_objects += s.serial.objects_reused;
+    row.cycle_lookups += s.serial.cycle_lookups;
+    row.bytes_allocated += s.serial.bytes_allocated;
+  }
+  return profile;
 }
 
 RmiStatsSnapshot RmiSystem::stats(std::uint16_t machine) const {

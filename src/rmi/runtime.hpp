@@ -57,6 +57,14 @@ struct CompiledCallSite {
   // The optimization level this site was compiled at (report labelling;
   // set by driver::to_runtime_site).
   codegen::OptLevel level = codegen::OptLevel::Class;
+  // The compile-time call-site tag (RemoteCall instruction), so runtime
+  // statistics can be exported back to the driver keyed the way the
+  // compiler keys its decisions.  0 when the site was hand-built.
+  std::uint32_t tag = 0;
+  // Profile-guided promotion: replies from this site are marked
+  // coalescible for a *batching* session (§3.1 ACK batching).  Inert
+  // under the default non-batching session config.
+  bool batch_replies = false;
 };
 
 class RmiSystem;
@@ -170,6 +178,10 @@ class RmiSystem {
   // A formatted per-call-site report: one row per site with rpc counts,
   // reuse, allocation volume and cycle lookups.
   std::string report() const;
+  // The per-call-site profile keyed by compile-time tag — the feedback
+  // input of driver::respecialize.  Runtime sites sharing one tag (rare)
+  // are summed; hand-built sites with tag 0 are skipped.
+  CallSiteProfile export_profile() const;
   net::Cluster& cluster() { return cluster_; }
   const serial::ClassPlanRegistry& class_plans() const { return class_plans_; }
   const CompiledCallSite& callsite(std::uint32_t id) const;

@@ -1,12 +1,41 @@
 // Per-machine RMI statistics — the counters behind the paper's
-// "runtime statistics" tables (Tables 4, 6 and 8).
+// "runtime statistics" tables (Tables 4, 6 and 8) — and the per-call-site
+// profile the runtime exports back to the driver for profile-guided
+// re-specialization.
 #pragma once
 
+#include <map>
 #include <mutex>
 
 #include "serial/stats.hpp"
 
 namespace rmiopt::rmi {
+
+// One profiled static call site, keyed by its *compile-time tag* (the
+// stable id the application used to wire the site), so the driver can
+// match profile rows against CompiledProgram decisions without knowing
+// runtime call-site ids.
+struct CallSiteProfileRow {
+  std::uint32_t tag = 0;
+  std::uint64_t invocations = 0;  // local + remote rpcs through the site
+  std::uint64_t remote_rpcs = 0;
+  std::uint64_t reused_objects = 0;  // reuse-cache hits (§3.3)
+  std::uint64_t cycle_lookups = 0;   // runtime cycle-table probes (§3.2)
+  std::uint64_t bytes_allocated = 0;  // deserialization allocation volume
+};
+
+// What one run taught us about every static call site — the feedback
+// input of driver::respecialize.  Exported by RmiSystem::export_profile
+// and carried in apps::RunResult.
+struct CallSiteProfile {
+  std::map<std::uint32_t, CallSiteProfileRow> by_tag;
+
+  bool empty() const { return by_tag.empty(); }
+  const CallSiteProfileRow* row(std::uint32_t tag) const {
+    auto it = by_tag.find(tag);
+    return it == by_tag.end() ? nullptr : &it->second;
+  }
+};
 
 struct RmiStatsSnapshot {
   std::uint64_t local_rpcs = 0;

@@ -39,6 +39,15 @@ class ProtocolError : public Error {
   explicit ProtocolError(const std::string& what) : Error(what) {}
 };
 
+// A compiled artifact was asked for something the compiler never produced
+// (e.g. a call-site tag that came from app config wiring but matches no
+// RemoteCall in the module).  Recoverable: the caller can reject the
+// configuration instead of aborting.
+class CompileError : public Error {
+ public:
+  explicit CompileError(const std::string& what) : Error(what) {}
+};
+
 [[noreturn]] inline void fail(const std::string& msg) { throw Error(msg); }
 
 #define RMIOPT_CHECK(cond, msg)                                       \

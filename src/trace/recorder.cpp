@@ -49,6 +49,10 @@ std::string_view to_string(EventKind k) {
       return "dedup drop";
     case EventKind::DedupLateRecovery:
       return "dedup late recovery";
+    case EventKind::CompilePass:
+      return "compile pass";
+    case EventKind::CompileCacheHit:
+      return "compile cache hit";
   }
   return "?";
 }
@@ -99,6 +103,7 @@ std::uint64_t track_tid(const Event& e) {
 
 std::string track_name(const Event& e) {
   if (e.track == TrackKind::Machine) {
+    if (e.machine == kCompilerTrack) return "compiler";
     return "machine " + std::to_string(e.machine);
   }
   return "link " + std::to_string(e.machine) + "->" + std::to_string(e.peer);

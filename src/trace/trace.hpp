@@ -33,6 +33,14 @@ namespace rmiopt::trace {
 // directed src->dst link track.
 enum class TrackKind : std::uint8_t { Machine, Link };
 
+// The compiler runs before any machine exists, so its phase spans live on
+// a dedicated pseudo-machine track (named "compiler" in the Chrome
+// export).  Compile events are stamped with *real* nanoseconds measured
+// from the pass manager's construction — the only track whose timeline is
+// wall clock, not virtual time; it stays monotone because passes run
+// sequentially.
+inline constexpr std::uint16_t kCompilerTrack = 0xfffe;
+
 enum class EventKind : std::uint8_t {
   // ---- RMI runtime (machine tracks) ---------------------------------------
   Call,             // one remote invocation, caller-perceived (span)
@@ -60,6 +68,9 @@ enum class EventKind : std::uint8_t {
   // ---- receive window (link tracks, instant) -------------------------------
   DedupDrop,          // duplicate/stale frame discarded by the window
   DedupLateRecovery,  // delayed frame below a forced horizon delivered
+  // ---- compiler (kCompilerTrack, real-time axis) ---------------------------
+  CompilePass,      // one pipeline pass executed (span; seq = PassId)
+  CompileCacheHit,  // pass result served from the cache (instant; seq = PassId)
 };
 
 std::string_view to_string(EventKind k);

@@ -49,6 +49,13 @@ struct Message {
   MessageHeader header;
   ByteBuffer payload;
 
+  // Sender-side only (never framed onto the wire): the compiler marked
+  // this reply as batchable — a profile-guided promotion of the §3.1 ACK
+  // optimization.  A *batching* session may hold it back for coalescing
+  // even past its payload-size threshold; the default non-batching
+  // session ignores it.
+  bool coalesce_hint = false;
+
   // Total bytes this message occupies on the (simulated) wire.
   std::size_t wire_size() const {
     return sizeof(MessageHeader) + payload.size();

@@ -8,7 +8,7 @@ namespace rmiopt::wire {
 
 bool Session::coalescible(const Message& msg) const {
   return msg.header.kind != MsgKind::Call &&
-         msg.payload.size() <= cfg_.max_batch_payload;
+         (msg.payload.size() <= cfg_.max_batch_payload || msg.coalesce_hint);
 }
 
 void Session::trace_event(trace::EventKind kind, std::uint64_t link_seq,

@@ -97,8 +97,10 @@ TEST(ApiContract, CompiledProgramRejectsUnknownTag) {
   apps::figures::FigureProgram p = apps::figures::make_figure12();
   const driver::CompiledProgram prog =
       driver::compile(*p.module, codegen::OptLevel::Site);
-  EXPECT_THROW(prog.site(123), Error);
-  EXPECT_THROW(driver::to_runtime_site(prog, 123, 0), Error);
+  // A typed, recoverable error (an unknown tag is an app wiring mistake,
+  // not an internal invariant) — still an Error for legacy catch sites.
+  EXPECT_THROW(prog.site(123), CompileError);
+  EXPECT_THROW(driver::to_runtime_site(prog, 123, 0), CompileError);
 }
 
 }  // namespace
