@@ -1,0 +1,235 @@
+// Chaos soak sweep: seeded fault plans (lossy links + a crashed webserver
+// slave) across every application and every paper optimization level,
+// with the heartbeat failure detector enabled.
+//
+// Same harness as tests/chaos_soak_test.cpp, scaled out: the test pins a
+// small fixed seed set for the tier-1 suite; this binary sweeps
+// RMIOPT_CHAOS_SEEDS consecutive seeds (default 10, CI passes more on
+// manual dispatch) starting at RMIOPT_CHAOS_BASE_SEED (default 1).
+//
+// Invariants per (app, level, seed), against a clean same-config run:
+//  * check value unchanged — no handler double-execution, no lost work;
+//  * virtual makespan bounded — faults cost time, never livelock.
+//
+// On a violation the binary re-runs the failing config with tracing on,
+// writes the Chrome trace to RMIOPT_CHAOS_TRACE (default
+// chaos_failure_trace.json, uploaded as a CI artifact) and aborts with
+// the reproducing (app, level, seed) in the message.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "apps/lu.hpp"
+#include "apps/microbench.hpp"
+#include "apps/superopt.hpp"
+#include "apps/webserver.hpp"
+#include "bench/bench_common.hpp"
+#include "support/rng.hpp"
+
+using namespace rmiopt;
+using codegen::OptLevel;
+
+namespace {
+
+// Keep in sync with tests/chaos_soak_test.cpp: same generator, so a seed
+// that fails here reproduces under the test harness too.
+net::FaultPlan chaos_plan(std::uint64_t seed, std::size_t machines,
+                          bool allow_crash) {
+  net::FaultPlan plan;
+  plan.seed = seed;
+  SplitMix64 rng(seed ^ 0x9e3779b97f4a7c15ull);
+  plan.default_link.drop = 0.06 * rng.next_double();
+  plan.default_link.duplicate = 0.05 * rng.next_double();
+  plan.default_link.reorder = 0.05 * rng.next_double();
+  plan.default_link.corrupt = 0.04 * rng.next_double();
+  if (allow_crash && machines > 2) {
+    const auto victim = static_cast<std::uint16_t>(
+        1 + rng.next_below(static_cast<std::uint64_t>(machines) - 1));
+    const auto at = static_cast<std::int64_t>(
+        200'000 + rng.next_below(2'000'000));
+    plan.crash_at(victim, at);
+  }
+  return plan;
+}
+
+net::FailureDetectorConfig chaos_detector() {
+  net::FailureDetectorConfig d;
+  d.enabled = true;
+  return d;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::strtoull(v, nullptr, 10)
+                                    : fallback;
+}
+
+struct ChaosApp {
+  const char* name;
+  std::size_t machines;
+  bool allow_crash;
+  // Runs the app at `level` under `plan`; a recorder re-runs a failure
+  // with tracing on.
+  std::function<apps::RunResult(OptLevel, const net::FaultPlan&,
+                                const net::FailureDetectorConfig&,
+                                trace::Recorder*)>
+      run;
+};
+
+std::vector<ChaosApp> make_apps() {
+  std::vector<ChaosApp> apps;
+  apps.push_back({"list", 2, false,
+                  [](OptLevel level, const net::FaultPlan& plan,
+                     const net::FailureDetectorConfig& det,
+                     trace::Recorder* rec) {
+                    apps::ListBenchConfig cfg;
+                    cfg.list_length = 16;
+                    cfg.iterations = 6;
+                    cfg.faults = plan;
+                    cfg.detector = det;
+                    cfg.recorder = rec;
+                    return run_list_bench(level, cfg);
+                  }});
+  apps.push_back({"array", 2, false,
+                  [](OptLevel level, const net::FaultPlan& plan,
+                     const net::FailureDetectorConfig& det,
+                     trace::Recorder* rec) {
+                    apps::ArrayBenchConfig cfg;
+                    cfg.rows = 8;
+                    cfg.cols = 8;
+                    cfg.iterations = 6;
+                    cfg.faults = plan;
+                    cfg.detector = det;
+                    cfg.recorder = rec;
+                    return run_array_bench(level, cfg);
+                  }});
+  apps.push_back({"lu", 2, false,
+                  [](OptLevel level, const net::FaultPlan& plan,
+                     const net::FailureDetectorConfig& det,
+                     trace::Recorder* rec) {
+                    apps::LuConfig cfg;
+                    cfg.n = 20;
+                    cfg.faults = plan;
+                    cfg.detector = det;
+                    cfg.recorder = rec;
+                    return run_lu(level, cfg);
+                  }});
+  apps.push_back({"superopt", 3, false,
+                  [](OptLevel level, const net::FaultPlan& plan,
+                     const net::FailureDetectorConfig& det,
+                     trace::Recorder* rec) {
+                    apps::SuperoptConfig cfg;
+                    cfg.max_len = 1;
+                    cfg.test_vectors = 4;
+                    cfg.machines = 3;
+                    cfg.faults = plan;
+                    cfg.detector = det;
+                    cfg.recorder = rec;
+                    return run_superopt(level, cfg);
+                  }});
+  apps.push_back({"webserver", 4, true,
+                  [](OptLevel level, const net::FaultPlan& plan,
+                     const net::FailureDetectorConfig& det,
+                     trace::Recorder* rec) {
+                    apps::WebserverConfig cfg;
+                    cfg.machines = 4;
+                    cfg.pages = 8;
+                    cfg.page_size = 128;
+                    cfg.requests = 30;
+                    cfg.call_timeout_ms = 5'000;
+                    cfg.faults = plan;
+                    cfg.detector = det;
+                    cfg.recorder = rec;
+                    return run_webserver(level, cfg);
+                  }});
+  return apps;
+}
+
+// Dumps a traced re-run of the failing config so CI can attach it.
+void dump_failure_trace(const ChaosApp& app, OptLevel level,
+                        const net::FaultPlan& plan) {
+  const char* path = std::getenv("RMIOPT_CHAOS_TRACE");
+  if (path == nullptr || *path == '\0') path = "chaos_failure_trace.json";
+  trace::MemoryRecorder rec;
+  try {
+    app.run(level, plan, chaos_detector(), &rec);
+  } catch (const Error&) {
+    // The re-run may throw where the invariant run merely mis-counted;
+    // the partial trace is still the artifact we want.
+  }
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return;
+  const std::string json = chrome_trace_json(rec.events());
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "chaos: failing-run trace written to %s\n", path);
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t seeds = env_u64("RMIOPT_CHAOS_SEEDS", 10);
+  const std::uint64_t base = env_u64("RMIOPT_CHAOS_BASE_SEED", 1);
+  const auto apps = make_apps();
+
+  std::printf(
+      "chaos soak: %llu seeds x %zu apps x %zu levels, detector on\n"
+      "(seeded lossy links everywhere; webserver also crashes one slave)\n\n",
+      static_cast<unsigned long long>(seeds), apps.size(),
+      std::size(codegen::kPaperLevels));
+
+  TextTable t({"app", "runs", "faults", "retrans", "deaths",
+                      "failovers", "max slowdown"});
+  for (const ChaosApp& app : apps) {
+    std::uint64_t runs = 0, faults = 0, retrans = 0, deaths = 0,
+                  failovers = 0;
+    double max_slowdown = 1.0;
+    for (OptLevel level : codegen::kPaperLevels) {
+      const apps::RunResult clean =
+          app.run(level, net::FaultPlan{}, {}, nullptr);
+      for (std::uint64_t s = 0; s < seeds; ++s) {
+        const std::uint64_t seed = base + s;
+        const net::FaultPlan plan =
+            chaos_plan(seed, app.machines, app.allow_crash);
+        const apps::RunResult r =
+            app.run(level, plan, chaos_detector(), nullptr);
+        ++runs;
+        faults += r.net.faults();
+        retrans += r.net.retransmits;
+        deaths += r.net.machine_deaths;
+        failovers += r.failovers;
+        const std::string where =
+            std::string("app=") + app.name +
+            " level=" + std::string(to_string(level)) +
+            " seed=" + std::to_string(seed);
+        const bool check_ok = r.check == clean.check;
+        const bool time_ok =
+            r.makespan.as_nanos() <=
+            20 * clean.makespan.as_nanos() + 100'000'000;
+        if (!check_ok || !time_ok) dump_failure_trace(app, level, plan);
+        RMIOPT_CHECK(check_ok,
+                     "chaos changed the application result (" + where + ")");
+        RMIOPT_CHECK(time_ok, "makespan unbounded under chaos (" + where +
+                                  ": " +
+                                  std::to_string(r.makespan.as_nanos()) +
+                                  " ns vs clean " +
+                                  std::to_string(clean.makespan.as_nanos()) +
+                                  " ns)");
+        if (clean.makespan.as_nanos() > 0) {
+          max_slowdown = std::max(
+              max_slowdown, static_cast<double>(r.makespan.as_nanos()) /
+                                static_cast<double>(clean.makespan.as_nanos()));
+        }
+      }
+    }
+    t.add_row({app.name, std::to_string(runs), std::to_string(faults),
+               std::to_string(retrans), std::to_string(deaths),
+               std::to_string(failovers), fmt_fixed(max_slowdown, 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Every run finished with its clean-run check value and a bounded\n"
+      "makespan: at-most-once admission, ARQ recovery, fast-fail routing\n"
+      "and name-service failover masked every injected fault.\n");
+  return 0;
+}

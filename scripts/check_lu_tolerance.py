@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Run-to-run tolerance gate for bench_table3_lu.
+
+Unlike the other table binaries, the LU bench is NOT byte-identical from
+run to run.  Its two workers issue RMIs concurrently, and a machine's
+virtual clock composes *max*-merges (frame arrival stamps) with
+*sum*-advances (per-call dispatch cost) in whatever real-time order the
+dispatcher drained its inbox.  max and + do not commute, so the virtual
+makespan legitimately varies by a small amount with thread scheduling —
+under 1% on the optimized levels, up to ~10% on the chattier 'class'
+level under machine load.  Every decision that feeds the other seven
+tables is single-stream and stays byte-identical; LU is the one paper
+benchmark whose parallelism exposes this.
+
+This gate replaces byte-comparison for LU: it runs the binary twice and
+asserts that, per optimization level,
+
+  * the measured virtual seconds agree within --tolerance (default 15%,
+    above the worst observed jitter, so the gate flags structural
+    regressions, not scheduler noise), and
+  * both runs order the levels the same relative to 'class' (the paper's
+    qualitative claim: every optimization level is at least as fast),
+    with a small epsilon so two jittering samples near parity cannot
+    flake the qualitative check.
+
+Usage: check_lu_tolerance.py <path-to-bench_table3_lu> [--tolerance 0.10]
+Exits nonzero with a per-level report on violation.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+
+LEVELS = [
+    "class",
+    "site",
+    "site + cycle",
+    "site + reuse",
+    "site + reuse + cycle",
+]
+
+# A reproduction row: level name, seconds, gain column.
+ROW_RE = re.compile(
+    r"^(class|site(?: \+ \w+)*)\s+(\d+\.\d+)\s+\S+%\s*$", re.MULTILINE
+)
+
+
+def measured_seconds(output: str) -> dict[str, float]:
+    # Only the reproduction table (after the paper-reference block) has
+    # this row shape; the reference block's lines carry the 2003 numbers
+    # but a different significant-digit format is not guaranteed, so cut
+    # at the reproduction header to be safe.
+    repro = output[output.find("Reproduction:"):]
+    rows = {m.group(1): float(m.group(2)) for m in ROW_RE.finditer(repro)}
+    missing = [l for l in LEVELS if l not in rows]
+    if missing:
+        sys.exit(f"check_lu_tolerance: missing level rows {missing} in:\n{repro}")
+    return rows
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("binary", help="path to bench_table3_lu")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="max relative run-to-run deviation per level")
+    args = ap.parse_args()
+
+    runs = []
+    for i in range(2):
+        proc = subprocess.run([args.binary], capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.exit(f"check_lu_tolerance: run {i + 1} exited "
+                     f"{proc.returncode}:\n{proc.stderr}")
+        runs.append(measured_seconds(proc.stdout))
+
+    failures = []
+    for level in LEVELS:
+        a, b = runs[0][level], runs[1][level]
+        rel = abs(a - b) / max(a, b)
+        status = "ok" if rel <= args.tolerance else "FAIL"
+        print(f"  {level:<22} {a:.4f}s vs {b:.4f}s  "
+              f"rel-dev {rel * 100:.2f}%  {status}")
+        if rel > args.tolerance:
+            failures.append(level)
+
+    for rows in runs:
+        base = rows["class"]
+        slower = [l for l in LEVELS[1:] if rows[l] > base * 1.05]
+        if slower:
+            failures.append(f"levels slower than 'class': {slower}")
+
+    if failures:
+        sys.exit(f"check_lu_tolerance: FAILED {failures} "
+                 f"(tolerance {args.tolerance * 100:.0f}%)")
+    print(f"check_lu_tolerance: both runs agree within "
+          f"{args.tolerance * 100:.0f}% and keep the paper's ordering")
+
+
+if __name__ == "__main__":
+    main()

@@ -60,7 +60,7 @@ RunResult run_lu(codegen::OptLevel level, const LuConfig& cfg) {
       compile_model(model, level, cfg.model ? cfg.pass_manager : nullptr);
 
   net::Cluster cluster(P, *model.types, cfg.cost, cfg.transport, {},
-                       cfg.faults);
+                       cfg.faults, cfg.detector);
   if (cfg.recorder != nullptr) cluster.set_recorder(cfg.recorder);
   rmi::RmiSystem sys(cluster, *model.types,
                      rmi::ExecutorConfig{cfg.dispatch_workers});

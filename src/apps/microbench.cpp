@@ -16,7 +16,7 @@ RunResult run_list_bench(codegen::OptLevel level, const ListBenchConfig& cfg) {
       driver::CompileOptions{.precise_cycles = cfg.precise_cycles});
 
   net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport,
-                       {}, cfg.faults);
+                       {}, cfg.faults, cfg.detector);
   if (cfg.recorder != nullptr) cluster.set_recorder(cfg.recorder);
   rmi::RmiSystem sys(cluster, *model.types,
                      rmi::ExecutorConfig{cfg.dispatch_workers});
@@ -70,7 +70,7 @@ RunResult run_array_bench(codegen::OptLevel level,
       compile_model(model, level, cfg.model ? cfg.pass_manager : nullptr);
 
   net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport,
-                       {}, cfg.faults);
+                       {}, cfg.faults, cfg.detector);
   if (cfg.recorder != nullptr) cluster.set_recorder(cfg.recorder);
   rmi::RmiSystem sys(cluster, *model.types,
                      rmi::ExecutorConfig{cfg.dispatch_workers});

@@ -9,6 +9,7 @@
 
 #include "apps/run_result.hpp"
 #include "codegen/opt_level.hpp"
+#include "net/failure_detector.hpp"
 #include "net/transport.hpp"
 
 namespace rmiopt::driver {
@@ -31,6 +32,7 @@ struct ListBenchConfig {
   net::TransportKind transport = net::TransportKind::Sim;
   std::size_t dispatch_workers = 1;
   net::FaultPlan faults{};  // seeded fault injection (inert by default)
+  net::FailureDetectorConfig detector{};  // heartbeat failure detection (inert by default)
   // Optional trace recorder (nullptr = tracing off, zero overhead).
   trace::Recorder* recorder = nullptr;
   // Optional shared IR model (nullptr = build a fresh one per run).  Must
@@ -58,6 +60,7 @@ struct ArrayBenchConfig {
   net::TransportKind transport = net::TransportKind::Sim;
   std::size_t dispatch_workers = 1;
   net::FaultPlan faults{};  // seeded fault injection (inert by default)
+  net::FailureDetectorConfig detector{};  // heartbeat failure detection (inert by default)
   // Optional trace recorder (nullptr = tracing off, zero overhead).
   trace::Recorder* recorder = nullptr;
   // Optional shared IR model (nullptr = build a fresh one per run).  Must

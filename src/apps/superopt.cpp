@@ -124,7 +124,7 @@ RunResult run_superopt(codegen::OptLevel level, const SuperoptConfig& cfg) {
           : cfg.target;
 
   net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport,
-                       {}, cfg.faults);
+                       {}, cfg.faults, cfg.detector);
   if (cfg.recorder != nullptr) cluster.set_recorder(cfg.recorder);
   rmi::RmiSystem sys(cluster, *model.types,
                      rmi::ExecutorConfig{cfg.dispatch_workers});

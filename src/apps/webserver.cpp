@@ -33,7 +33,7 @@ RunResult run_webserver(codegen::OptLevel level, const WebserverConfig& cfg) {
       compile_model(model, level, cfg.model ? cfg.pass_manager : nullptr);
 
   net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport,
-                       {}, cfg.faults);
+                       {}, cfg.faults, cfg.detector);
   if (cfg.recorder != nullptr) cluster.set_recorder(cfg.recorder);
   rmi::RmiSystem sys(cluster, *model.types,
                      rmi::ExecutorConfig{cfg.dispatch_workers,
@@ -92,67 +92,31 @@ RunResult run_webserver(codegen::OptLevel level, const WebserverConfig& cfg) {
       names.bind(static_cast<std::uint16_t>(s + 1),
                  "Server#" + std::to_string(s), servers[s]);
     } catch (const rmi::RmiTimeout&) {
-      // The slave is dead (crashed before it could register); the master
-      // notices below when its lookup fails and re-binds the name.
+      // The slave is dead (crashed before it could register); the
+      // replicated bind below re-points its name at a live replica.
+    }
+  }
+  if (cfg.faults.enabled()) {
+    // Failover is the name service's job now: publish each name with its
+    // full replica group (every slave holds every page, so live replicas
+    // are interchangeable) and let the registry advance the binding when
+    // a machine dies — via the failure detector's death callback, or via
+    // a caller's report_failure after a timeout.  Gated on an active
+    // fault plan so a healthy run's traffic stays byte-identical.
+    for (std::size_t s = 0; s < slaves; ++s) {
+      names.bind_replicated(0, "Server#" + std::to_string(s), servers,
+                            /*preferred=*/s);
     }
   }
 
   // ---- master request loop ---------------------------------------------------
-  // Every slave holds every page, so the master can degrade gracefully:
-  // a slave that crashed (its bind missing, or a later call timing out)
-  // has its name re-bound to a live replica and its traffic re-routed.
   om::Heap& h0 = cluster.machine(0).heap();
-  std::mutex fo_mu;                              // guards resolved + liveness
+  std::mutex fo_mu;  // guards resolved
   std::vector<rmi::RemoteRef> resolved(slaves);
-  std::vector<bool> slave_live(slaves, false);
-  std::vector<std::size_t> unbound;
-  std::uint64_t failovers = 0;
   for (std::size_t s = 0; s < slaves; ++s) {
-    try {
-      resolved[s] = names.lookup(0, "Server#" + std::to_string(s));
-      slave_live[s] = true;
-    } catch (const rmi::RemoteException&) {
-      unbound.push_back(s);  // never registered: crashed at startup
-    }
-  }
-  // `resolved` and the registry entry must point at live machines before
-  // requests flow.  Live replicas are interchangeable (uniform page set).
-  auto live_replica = [&]() -> std::size_t {
-    for (std::size_t s = 0; s < slaves; ++s) {
-      if (slave_live[s]) return s;
-    }
-    throw Error("webserver: no live slave remains");
-  };
-  for (const std::size_t s : unbound) {
-    resolved[s] = resolved[live_replica()];
-    names.rebind(0, "Server#" + std::to_string(s), resolved[s]);
-    ++failovers;
+    resolved[s] = names.lookup(0, "Server#" + std::to_string(s));
   }
 
-  // Routes a request hash to (the current stand-in for) its server.
-  // Invariant under fo_mu: a live slot's ref points at its own, live
-  // machine; a dead slot's ref was re-pointed at a live replica.
-  auto route = [&](std::uint32_t hash) -> rmi::RemoteRef {
-    std::scoped_lock lock(fo_mu);
-    return resolved[hash % slaves];
-  };
-  // A call into `machine` timed out: mark every slot it serves dead and
-  // re-bind those names to a live replica.
-  auto mark_dead = [&](std::uint16_t machine) {
-    std::scoped_lock lock(fo_mu);
-    std::vector<std::size_t> dead_slots;
-    for (std::size_t s = 0; s < slaves; ++s) {
-      if (slave_live[s] && resolved[s].machine == machine) {
-        slave_live[s] = false;
-        dead_slots.push_back(s);
-      }
-    }
-    for (const std::size_t s : dead_slots) {
-      resolved[s] = resolved[live_replica()];
-      names.rebind(0, "Server#" + std::to_string(s), resolved[s]);
-      ++failovers;
-    }
-  };
   // The master forwards requests from `concurrent_clients` pipelines; a
   // single pipeline is latency-bound (one RTT per page), several overlap
   // their round trips across the slaves.
@@ -168,12 +132,19 @@ RunResult run_webserver(codegen::OptLevel level, const WebserverConfig& cfg) {
       const std::string url = url_for(page);
       // Route by the URL's Java hash code, as the paper does.
       const auto h = static_cast<std::uint32_t>(java_string_hash(url));
-      // Retry loop: a timed-out call fails over to a live replica and the
-      // request is re-issued there (every slave holds every page, so the
-      // response is identical).  At-most-once semantics make the retry
-      // safe: get_page is read-only and the dead callee never replies.
+      const std::size_t slot = h % slaves;
+      // Retry loop: a failed call (ARQ-budget RmiTimeout, or the typed
+      // fast-fail MachineDown subclass when the detector is on) is
+      // reported to the name service, which re-points the name at a live
+      // replica; the request is then re-issued there.  At-most-once
+      // semantics make the retry safe: get_page is read-only and the dead
+      // callee never replies.
       for (;;) {
-        const rmi::RemoteRef server = route(h);
+        rmi::RemoteRef server;
+        {
+          std::scoped_lock lock(fo_mu);
+          server = resolved[slot];
+        }
         om::ObjRef url_obj = h0.alloc_string(url);
         try {
           om::ObjRef page_obj =
@@ -186,7 +157,15 @@ RunResult run_webserver(codegen::OptLevel level, const WebserverConfig& cfg) {
           break;
         } catch (const rmi::RmiTimeout&) {
           h0.free(url_obj);
-          mark_dead(server.machine);
+          const std::string name = "Server#" + std::to_string(slot);
+          try {
+            names.report_failure(0, name, server.machine);
+          } catch (const rmi::RemoteException& e) {
+            throw Error(std::string("webserver: ") + e.what());
+          }
+          const rmi::RemoteRef fresh = names.lookup(0, name);
+          std::scoped_lock lock(fo_mu);
+          resolved[slot] = fresh;
         }
       }
     }
@@ -202,7 +181,7 @@ RunResult run_webserver(codegen::OptLevel level, const WebserverConfig& cfg) {
 
   RunResult r = collect_run(cluster, sys);
   r.compile = prog.stats;
-  r.failovers = failovers;
+  r.failovers = names.failovers();
   r.check = static_cast<double>(bytes_received.load());
   RMIOPT_CHECK(misses.load() == 0, "webserver served a 404");
   return r;

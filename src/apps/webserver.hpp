@@ -10,6 +10,7 @@
 
 #include "apps/run_result.hpp"
 #include "codegen/opt_level.hpp"
+#include "net/failure_detector.hpp"
 #include "net/transport.hpp"
 
 namespace rmiopt::driver {
@@ -33,6 +34,10 @@ struct WebserverConfig {
   net::TransportKind transport = net::TransportKind::Sim;
   std::size_t dispatch_workers = 1;
   net::FaultPlan faults{};  // seeded fault injection (inert by default)
+  // Heartbeat failure detection (inert by default).  Enabled, a crashed
+  // slave is confirmed dead in bounded virtual time and its traffic fails
+  // fast (rmi::MachineDown) instead of burning the full ARQ budget.
+  net::FailureDetectorConfig detector{};
   // Real-time backstop per blocked call (forwarded to the RMI runtime;
   // virtual-time failures do not wait on it).
   std::int64_t call_timeout_ms = 30'000;

@@ -6,13 +6,22 @@ namespace rmiopt::net {
 
 Cluster::Cluster(std::size_t machine_count, const om::TypeRegistry& types,
                  const serial::CostModel& cost, TransportKind transport,
-                 const wire::SessionConfig& session, const FaultPlan& faults)
+                 const wire::SessionConfig& session, const FaultPlan& faults,
+                 const FailureDetectorConfig& detector)
     : cost_(cost), transport_(make_transport(transport, cost_)) {
   RMIOPT_CHECK(machine_count >= 1, "cluster needs at least one machine");
   if (faults.enabled()) {
     transport_ = std::make_unique<FaultyTransport>(cost_,
                                                    std::move(transport_),
                                                    faults);
+  }
+  if (detector.enabled) {
+    // The detector reads the crash schedule and the heartbeat-drop dice
+    // straight from the installed plan (null when the plan is inert: every
+    // expected probe then hits and no machine is ever declared dead).
+    const auto* faulty = dynamic_cast<FaultyTransport*>(transport_.get());
+    detector_ = std::make_unique<FailureDetector>(
+        detector, machine_count, faulty != nullptr ? &faulty->plan() : nullptr);
   }
   machines_.reserve(machine_count);
   for (std::size_t i = 0; i < machine_count; ++i) {
@@ -48,12 +57,39 @@ void Cluster::send(wire::Message msg) {
 
   Machine& sender = *machines_[src];
   Machine& receiver = *machines_[dst];
+  // Fast-fail: the sender's clock drives the probe rounds, and traffic to
+  // (or from) a confirmed-dead machine is refused before it queues.
+  if (detector_ != nullptr) {
+    detector_->poll(sender.clock().now());
+    fail_if_dead(src, dst);
+  }
   // The sink runs under the session lock, so one link's frames reach the
   // transport — and the receiver's inbox — in link_seq order even when
   // several threads send concurrently.
   session(src, dst).post(std::move(msg), [&](const wire::Frame& frame) {
+    if (detector_ != nullptr) {
+      // Re-check between ARQ attempts: the backoff just charged may have
+      // crossed enough probe rounds to confirm the peer dead, in which
+      // case the in-flight frame is abandoned mid-budget.
+      detector_->poll(sender.clock().now());
+      fail_if_dead(src, dst);
+    }
     return transport_->submit(sender, receiver, frame);
   });
+}
+
+void Cluster::fail_if_dead(std::uint16_t src, std::uint16_t dst) const {
+  if (detector_->dead(dst)) {
+    throw MachineDeadError(
+        dst, "machine " + std::to_string(dst) +
+                 " declared dead by the failure detector; dropping traffic "
+                 "from machine " + std::to_string(src));
+  }
+  if (detector_->dead(src)) {
+    throw MachineDeadError(
+        src, "local machine " + std::to_string(src) +
+                 " declared dead by the failure detector; refusing to send");
+  }
 }
 
 void Cluster::flush() {
@@ -82,12 +118,20 @@ NetworkStats::Snapshot Cluster::stats() const {
     total.dedup_late_recoveries += c.late_recoveries;
     total.dedup_skipped_expired += c.skipped_expired;
   }
+  if (detector_ != nullptr) {
+    const FailureDetector::Counters c = detector_->counters();
+    total.heartbeats += c.heartbeats;
+    total.heartbeat_misses += c.heartbeat_misses;
+    total.suspicions += c.suspicions;
+    total.machine_deaths += c.deaths;
+  }
   return total;
 }
 
 void Cluster::set_recorder(trace::Recorder* recorder) {
   recorder_ = recorder;
   transport_->set_recorder(recorder);
+  if (detector_ != nullptr) detector_->set_recorder(recorder);
   for (auto& m : machines_) m->set_recorder(recorder);
   for (std::size_t s = 0; s < machines_.size(); ++s) {
     for (std::size_t d = 0; d < machines_.size(); ++d) {

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/failure_detector.hpp"
 #include "net/fault.hpp"
 #include "net/machine.hpp"
 #include "net/transport.hpp"
@@ -26,12 +27,15 @@ class Cluster {
   // With a non-trivial `faults` plan the chosen backend is wrapped in a
   // FaultyTransport and the plan executed; an all-zero plan (the default)
   // leaves the backend bare and the byte stream bit-for-bit identical to
-  // a build without fault support.
+  // a build without fault support.  An enabled `detector` config adds the
+  // heartbeat failure detector: sends then poll probe rounds and fail
+  // fast (MachineDeadError) once an endpoint is confirmed dead.
   Cluster(std::size_t machine_count, const om::TypeRegistry& types,
           const serial::CostModel& cost = {},
           TransportKind transport = TransportKind::Sim,
           const wire::SessionConfig& session = {},
-          const FaultPlan& faults = {});
+          const FaultPlan& faults = {},
+          const FailureDetectorConfig& detector = {});
 
   std::size_t size() const { return machines_.size(); }
   Machine& machine(std::size_t i) { return *machines_.at(i); }
@@ -41,8 +45,18 @@ class Cluster {
   // With a coalescing session config, small replies may be held back
   // until a flush trigger (a Call on the same link, a full queue, or an
   // explicit flush()).  Throws ProtocolError when the link's ARQ exhausts
-  // its retransmit budget (only possible under an active fault plan).
+  // its retransmit budget (only possible under an active fault plan), or
+  // the typed MachineDeadError subclass as soon as the failure detector
+  // confirms either endpoint dead — in-ARQ frames included, so a call to
+  // a dead machine fails in detection time, not retransmit-budget time.
   void send(wire::Message msg);
+
+  // The failure detector (nullptr unless an enabled config was passed at
+  // construction).  Callers outside the send path — e.g. an RMI caller
+  // blocked on a reply — poll() it with makespan() so deaths are declared
+  // even when no new traffic flows.
+  FailureDetector* detector() { return detector_.get(); }
+  const FailureDetector* detector() const { return detector_.get(); }
 
   // Forces every session's held-back messages out.
   void flush();
@@ -72,10 +86,14 @@ class Cluster {
 
  private:
   wire::Session& session(std::uint16_t src, std::uint16_t dst);
+  // Throws MachineDeadError when the detector has confirmed either
+  // endpoint dead.  Only called with detector_ present.
+  void fail_if_dead(std::uint16_t src, std::uint16_t dst) const;
 
   serial::CostModel cost_;
   trace::Recorder* recorder_ = nullptr;
   std::unique_ptr<Transport> transport_;
+  std::unique_ptr<FailureDetector> detector_;
   std::vector<std::unique_ptr<Machine>> machines_;
   // Directed links, indexed src * size() + dst; the src == dst diagonal
   // is unused (local RMIs never reach the network).

@@ -45,6 +45,8 @@ struct FaultPlan {
 
   // A machine that stops responding once its virtual clock reaches
   // `at_nanos`: frames to or from it vanish, so its peers see timeouts.
+  // Install crashes through crash_at() only — it maintains the per-machine
+  // index crashed() reads.
   struct Crash {
     std::uint16_t machine = 0;
     std::int64_t at_nanos = 0;
@@ -67,13 +69,16 @@ struct FaultPlan {
 
   void crash_at(std::uint16_t machine, std::int64_t at_nanos) {
     crashes.push_back(Crash{machine, at_nanos});
+    const auto [it, fresh] = earliest_crash_.try_emplace(machine, at_nanos);
+    if (!fresh && at_nanos < it->second) it->second = at_nanos;
   }
 
+  // Consulted per frame by the transport and per probe round by the
+  // failure detector, so it must not scan the schedule: crash_at()
+  // precomputes the earliest crash time per machine.
   bool crashed(std::uint16_t machine, std::int64_t now_nanos) const {
-    for (const Crash& c : crashes) {
-      if (c.machine == machine && now_nanos >= c.at_nanos) return true;
-    }
-    return false;
+    const auto it = earliest_crash_.find(machine);
+    return it != earliest_crash_.end() && now_nanos >= it->second;
   }
 
   // Whether the plan can perturb anything at all.  A default-constructed
@@ -95,6 +100,11 @@ struct FaultPlan {
     std::uint64_t key[4] = {seed, link_key(src, dst), link_seq, attempt};
     return SplitMix64(fnv1a(key, sizeof key));
   }
+
+ private:
+  // Earliest crash time per machine, maintained by crash_at().  Kept out
+  // of the public surface so the vector and the index cannot diverge.
+  std::unordered_map<std::uint16_t, std::int64_t> earliest_crash_;
 };
 
 }  // namespace rmiopt::net

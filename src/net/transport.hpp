@@ -73,6 +73,13 @@ class NetworkStats {
     std::uint64_t dedup_late_recoveries = 0; // delayed frames still delivered
     std::uint64_t dedup_skipped_expired = 0; // gap entries that aged out
 
+    // Failure detection (filled in by Cluster::stats() from the detector;
+    // all zero with the detector disabled, the default).
+    std::uint64_t heartbeats = 0;        // probes that reached the monitor
+    std::uint64_t heartbeat_misses = 0;  // expected probes that did not
+    std::uint64_t suspicions = 0;        // machines marked Suspected
+    std::uint64_t machine_deaths = 0;    // machines confirmed dead
+
     Snapshot& operator+=(const Snapshot& o) {
       messages += o.messages;
       bytes += o.bytes;
@@ -88,6 +95,10 @@ class NetworkStats {
       dedup_forced_slides += o.dedup_forced_slides;
       dedup_late_recoveries += o.dedup_late_recoveries;
       dedup_skipped_expired += o.dedup_skipped_expired;
+      heartbeats += o.heartbeats;
+      heartbeat_misses += o.heartbeat_misses;
+      suspicions += o.suspicions;
+      machine_deaths += o.machine_deaths;
       return *this;
     }
 

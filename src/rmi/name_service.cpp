@@ -24,7 +24,7 @@ NameService::NameService(RmiSystem& sys, om::TypeRegistry& types)
         const RemoteRef ref{static_cast<std::uint16_t>(scalars[0]),
                             static_cast<std::uint32_t>(scalars[1])};
         std::scoped_lock lock(mu_);
-        if (!table_.emplace(name, ref).second) {
+        if (!table_.emplace(name, Binding{ref, {}}).second) {
           return HandlerResult::exception("name already bound: " + name);
         }
         return HandlerResult{};
@@ -38,7 +38,60 @@ NameService::NameService(RmiSystem& sys, om::TypeRegistry& types)
         const RemoteRef ref{static_cast<std::uint16_t>(scalars[0]),
                             static_cast<std::uint32_t>(scalars[1])};
         std::scoped_lock lock(mu_);
-        table_[name] = ref;  // create-or-overwrite, unlike bind
+        table_[name] = Binding{ref, {}};  // create-or-overwrite, unlike bind
+        return HandlerResult{};
+      });
+
+  const auto bind_replicated_method = sys.define_method(
+      "rmi/Registry.bindReplicated",
+      [this](CallContext&, std::span<const std::int64_t> scalars,
+             std::span<const om::ObjRef> args) -> HandlerResult {
+        const std::string name(args[0]->as_string_view());
+        const auto preferred = static_cast<std::size_t>(scalars[0]);
+        const auto n = static_cast<std::size_t>(scalars[1]);
+        if (n == 0 || preferred >= n || scalars.size() != 2 + 2 * n) {
+          return HandlerResult::exception("malformed replica group for " +
+                                          name);
+        }
+        Binding b;
+        b.group.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          b.group.push_back(
+              RemoteRef{static_cast<std::uint16_t>(scalars[2 + 2 * i]),
+                        static_cast<std::uint32_t>(scalars[3 + 2 * i])});
+        }
+        b.ref = b.group[preferred];
+        std::scoped_lock lock(mu_);
+        // The preferred replica may already be confirmed dead (bound late,
+        // after a crash): advance up front so the first lookup never hands
+        // out a dead machine.
+        if (detector_ != nullptr && detector_->dead(b.ref.machine) &&
+            !advance_binding(b, b.ref.machine)) {
+          return HandlerResult::exception("no live replica remains for " +
+                                          name);
+        }
+        table_[name] = std::move(b);  // create-or-overwrite, like rebind
+        return HandlerResult{};
+      });
+
+  const auto report_failure_method = sys.define_method(
+      "rmi/Registry.reportFailure",
+      [this](CallContext&, std::span<const std::int64_t> scalars,
+             std::span<const om::ObjRef> args) -> HandlerResult {
+        const std::string name(args[0]->as_string_view());
+        const auto failed = static_cast<std::uint16_t>(scalars[0]);
+        std::scoped_lock lock(mu_);
+        auto it = table_.find(name);
+        if (it == table_.end()) {
+          return HandlerResult::exception("name not bound: " + name);
+        }
+        // Another caller (or the detector) may have failed it over first;
+        // reporting is then a no-op and the caller just re-looks-up.
+        if (it->second.ref.machine != failed) return HandlerResult{};
+        if (!advance_binding(it->second, failed)) {
+          return HandlerResult::exception("no live replica remains for " +
+                                          name);
+        }
         return HandlerResult{};
       });
 
@@ -54,7 +107,7 @@ NameService::NameService(RmiSystem& sys, om::TypeRegistry& types)
           if (it == table_.end()) {
             return HandlerResult::exception("name not bound: " + name);
           }
-          ref = it->second;
+          ref = it->second.ref;
         }
         const om::ClassDescriptor& cls = types.get(refbox_);
         om::ObjRef box = ctx.heap().alloc(cls);
@@ -87,9 +140,46 @@ NameService::NameService(RmiSystem& sys, om::TypeRegistry& types)
   lookup_site.plan = make_plan("rmi/Registry.lookup#rts", true);
   lookup_site.method_id = lookup_method;
   lookup_site_ = sys.add_callsite(std::move(lookup_site));
+  CompiledCallSite bind_replicated_site;
+  bind_replicated_site.plan =
+      make_plan("rmi/Registry.bindReplicated#rts", false);
+  bind_replicated_site.method_id = bind_replicated_method;
+  bind_replicated_site_ = sys.add_callsite(std::move(bind_replicated_site));
+  CompiledCallSite report_failure_site;
+  report_failure_site.plan = make_plan("rmi/Registry.reportFailure#rts", false);
+  report_failure_site.method_id = report_failure_method;
+  report_failure_site_ = sys.add_callsite(std::move(report_failure_site));
 
   registry_ = sys.export_object(
       0, sys.cluster().machine(0).heap().alloc(refbox_));
+
+  detector_ = sys.cluster().detector();
+  if (detector_ != nullptr) {
+    // Death-triggered auto-rebind: the moment a machine is confirmed dead,
+    // every binding that points at it advances to a live replica — before
+    // any caller even observes a failure.  The callback runs on whichever
+    // thread confirmed the death and must not issue RMIs, so it mutates
+    // the table directly under the registry lock.  Lifetime: the name
+    // service must outlive RMI traffic (every app keeps it alive for the
+    // whole run); after sys.stop() nobody polls, so it cannot fire.
+    detector_->on_death([this](std::uint16_t dead, SimTime) {
+      std::scoped_lock lock(mu_);
+      for (auto& [name, binding] : table_) {
+        if (binding.ref.machine == dead) advance_binding(binding, dead);
+      }
+    });
+  }
+}
+
+bool NameService::advance_binding(Binding& b, std::uint16_t failed) {
+  for (const RemoteRef& candidate : b.group) {
+    if (candidate.machine == failed) continue;
+    if (detector_ != nullptr && detector_->dead(candidate.machine)) continue;
+    b.ref = candidate;
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
 }
 
 void NameService::bind(std::uint16_t caller, const std::string& name,
@@ -107,6 +197,38 @@ void NameService::rebind(std::uint16_t caller, const std::string& name,
   om::ObjRef name_obj = heap.alloc_string(name);
   const std::int64_t scalars[2] = {ref.machine, ref.export_id};
   sys_.invoke(caller, registry_, rebind_site_, std::array{name_obj},
+              scalars);
+  heap.free(name_obj);
+}
+
+void NameService::bind_replicated(std::uint16_t caller,
+                                  const std::string& name,
+                                  std::span<const RemoteRef> replicas,
+                                  std::size_t preferred) {
+  RMIOPT_CHECK(!replicas.empty() && preferred < replicas.size(),
+               "bind_replicated needs a non-empty group and a valid "
+               "preferred index");
+  om::Heap& heap = sys_.cluster().machine(caller).heap();
+  om::ObjRef name_obj = heap.alloc_string(name);
+  std::vector<std::int64_t> scalars;
+  scalars.reserve(2 + 2 * replicas.size());
+  scalars.push_back(static_cast<std::int64_t>(preferred));
+  scalars.push_back(static_cast<std::int64_t>(replicas.size()));
+  for (const RemoteRef& r : replicas) {
+    scalars.push_back(r.machine);
+    scalars.push_back(r.export_id);
+  }
+  sys_.invoke(caller, registry_, bind_replicated_site_, std::array{name_obj},
+              scalars);
+  heap.free(name_obj);
+}
+
+void NameService::report_failure(std::uint16_t caller, const std::string& name,
+                                 std::uint16_t failed_machine) {
+  om::Heap& heap = sys_.cluster().machine(caller).heap();
+  om::ObjRef name_obj = heap.alloc_string(name);
+  const std::int64_t scalars[1] = {failed_machine};
+  sys_.invoke(caller, registry_, report_failure_site_, std::array{name_obj},
               scalars);
   heap.free(name_obj);
 }

@@ -11,7 +11,10 @@
 // 2 and 3 residual lookups).
 #pragma once
 
+#include <atomic>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "rmi/runtime.hpp"
 
@@ -40,15 +43,60 @@ class NameService {
   // name is unbound.
   RemoteRef lookup(std::uint16_t caller, const std::string& name);
 
+  // Publishes `name` together with its whole replica group (an RMI to
+  // machine 0).  The binding initially points at `replicas[preferred]` —
+  // unless the failure detector already confirmed that machine dead, in
+  // which case the registry advances to the first live replica up front.
+  // Later deaths (detector callback) or caller reports (report_failure)
+  // re-point the binding automatically; plain bind/rebind still work and
+  // simply leave the group empty (no failover candidates).
+  void bind_replicated(std::uint16_t caller, const std::string& name,
+                       std::span<const RemoteRef> replicas,
+                       std::size_t preferred = 0);
+
+  // Tells the registry machine `failed_machine` did not answer for `name`
+  // (an RMI to machine 0).  If the binding still points at the failed
+  // machine, the registry advances it to the next live replica; if another
+  // caller already failed it over this is a no-op.  Throws RemoteException
+  // when no live replica remains.  This is the detector-less failover
+  // path: it works off a caller-observed RmiTimeout alone.
+  void report_failure(std::uint16_t caller, const std::string& name,
+                      std::uint16_t failed_machine);
+
+  // How many times any binding was re-pointed away from a failed machine
+  // (report_failure + detector-triggered rebinds combined).
+  std::uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+
  private:
+  // One name's registry entry: the ref lookups resolve to, plus the
+  // replica group failover draws from (empty for plain bind/rebind).
+  struct Binding {
+    RemoteRef ref{};
+    std::vector<RemoteRef> group;
+  };
+
+  // Re-points `b` at the first group member that is neither `failed` nor
+  // detector-confirmed dead.  Returns false when no candidate is left.
+  // Caller holds mu_.
+  bool advance_binding(Binding& b, std::uint16_t failed);
+
   RmiSystem& sys_;
+  net::FailureDetector* detector_ = nullptr;
   om::ClassId refbox_ = om::kNoClass;
   std::uint32_t bind_site_ = 0;
   std::uint32_t rebind_site_ = 0;
   std::uint32_t lookup_site_ = 0;
+  std::uint32_t bind_replicated_site_ = 0;
+  std::uint32_t report_failure_site_ = 0;
   RemoteRef registry_{};
-  // Server-side table, touched only by machine 0's dispatcher.
-  std::unordered_map<std::string, RemoteRef> table_;
+  std::atomic<std::uint64_t> failovers_{0};
+  // Server-side table.  Normally touched only by machine 0's dispatcher;
+  // the detector's death callback also mutates it directly (it runs on
+  // whichever thread confirmed the death and must not issue RMIs), hence
+  // the mutex.
+  std::unordered_map<std::string, Binding> table_;
   std::mutex mu_;
 };
 

@@ -51,6 +51,16 @@ RemoteRef RmiSystem::export_object(std::uint16_t machine, om::ObjRef obj) {
 void RmiSystem::start() {
   RMIOPT_CHECK(!started_, "already started");
   started_ = true;
+  if (net::FailureDetector* fd = cluster_.detector()) {
+    // Fast-fail propagation: a confirmed death immediately releases every
+    // caller blocked on that machine.  The callback outlives traffic, not
+    // this object — the cluster (and its detector) must outlive the
+    // RmiSystem, which the construction order of every app guarantees;
+    // after stop() nothing polls, so the callback can no longer fire.
+    fd->on_death([this](std::uint16_t machine, SimTime) {
+      fail_pending_to(machine);
+    });
+  }
   for (std::size_t i = 0; i < contexts_.size(); ++i) {
     contexts_[i]->dispatcher = std::thread(
         [this, i] { dispatch_loop(static_cast<std::uint16_t>(i)); });
@@ -157,30 +167,80 @@ void RmiSystem::charge_stub(std::uint16_t machine_id,
 }
 
 std::promise<RmiSystem::PendingReply>& RmiSystem::register_pending(
-    MachineContext& ctx, std::uint32_t seq) {
+    MachineContext& ctx, std::uint32_t seq, std::uint16_t dest) {
   std::scoped_lock lock(ctx.pending_mu);
-  return ctx.pending[seq];
+  PendingSlot& slot = ctx.pending[seq];
+  slot.dest = dest;
+  return slot.promise;
 }
 
 RmiSystem::PendingReply RmiSystem::await_pending(
     MachineContext& ctx, std::uint32_t seq,
-    std::future<PendingReply> fut) {
-  if (exec_cfg_.call_timeout_ms > 0 &&
-      fut.wait_for(std::chrono::milliseconds(exec_cfg_.call_timeout_ms)) ==
-          std::future_status::timeout) {
+    std::future<PendingReply> fut, std::uint16_t dest) {
+  const std::int64_t budget_ms = exec_cfg_.call_timeout_ms;
+  net::FailureDetector* const fd = cluster_.detector();
+  bool timed_out = false;
+  if (fd == nullptr) {
+    timed_out =
+        budget_ms > 0 &&
+        fut.wait_for(std::chrono::milliseconds(budget_ms)) ==
+            std::future_status::timeout;
+  } else {
+    // Slice the real-time wait: between slices, drive the probe rounds
+    // with the cluster-wide makespan (the dead callee's own burning ARQ
+    // advances virtual time even while this thread is parked) and bail
+    // out the moment `dest` is confirmed dead.  Slices are real time, so
+    // they affect only how promptly a blocked caller notices; the death
+    // declaration itself stays on the deterministic virtual-time axis.
+    constexpr std::int64_t kSliceMs = 2;
+    for (std::int64_t waited_ms = 0;;) {
+      if (fut.wait_for(std::chrono::milliseconds(kSliceMs)) ==
+          std::future_status::ready) {
+        break;
+      }
+      fd->poll(cluster_.makespan());
+      if (fd->dead(dest) &&
+          fut.wait_for(std::chrono::seconds(0)) !=
+              std::future_status::ready) {
+        {
+          std::scoped_lock lock(ctx.pending_mu);
+          ctx.pending.erase(seq);
+        }
+        ctx.stats.count_call_timeout();
+        ctx.stats.count_machine_down();
+        throw MachineDown(
+            dest, "call seq " + std::to_string(seq) + " to machine " +
+                      std::to_string(dest) +
+                      ": machine declared dead while awaiting the reply");
+      }
+      waited_ms += kSliceMs;
+      if (budget_ms > 0 && waited_ms >= budget_ms) {
+        timed_out = true;
+        break;
+      }
+    }
+  }
+  if (timed_out) {
     {
       std::scoped_lock lock(ctx.pending_mu);
       ctx.pending.erase(seq);
     }
     ctx.stats.count_call_timeout();
     throw RmiTimeout("call seq " + std::to_string(seq) +
-                     ": no reply within " +
-                     std::to_string(exec_cfg_.call_timeout_ms) + " ms");
+                     ": no reply within " + std::to_string(budget_ms) +
+                     " ms");
   }
   PendingReply rep = fut.get();
   {
     std::scoped_lock lock(ctx.pending_mu);
     ctx.pending.erase(seq);
+  }
+  if (rep.machine_down) {
+    ctx.stats.count_call_timeout();
+    ctx.stats.count_machine_down();
+    throw MachineDown(dest, "call seq " + std::to_string(seq) +
+                                " to machine " + std::to_string(dest) +
+                                ": machine declared dead");
   }
   if (rep.is_exception) throw RemoteException(rep.error);
   if (!rep.is_local && rep.msg.header.kind == wire::MsgKind::Exception) {
@@ -196,10 +256,38 @@ bool RmiSystem::try_fulfill_pending(MachineContext& ctx, std::uint32_t seq,
     std::scoped_lock lock(ctx.pending_mu);
     auto it = ctx.pending.find(seq);
     if (it == ctx.pending.end()) return false;
-    prom = std::move(it->second);
+    prom = std::move(it->second.promise);
+    // Erase now: a promise fulfills exactly once, so leaving the consumed
+    // slot behind would let a second reply for this seq (late real reply
+    // after a fail_pending_to, or a duplicate) hit a moved-from promise.
+    ctx.pending.erase(it);
   }
   prom.set_value(std::move(reply));
   return true;
+}
+
+void RmiSystem::fail_pending_to(std::uint16_t machine) {
+  for (auto& ctxp : contexts_) {
+    std::vector<std::promise<PendingReply>> victims;
+    {
+      std::scoped_lock lock(ctxp->pending_mu);
+      for (auto it = ctxp->pending.begin(); it != ctxp->pending.end();) {
+        if (it->second.dest == machine) {
+          victims.push_back(std::move(it->second.promise));
+          it = ctxp->pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    // Fulfill outside the lock: the woken caller's first act is to take
+    // pending_mu for its own erase (now a no-op).
+    for (std::promise<PendingReply>& p : victims) {
+      PendingReply rep;
+      rep.machine_down = true;
+      p.set_value(std::move(rep));
+    }
+  }
 }
 
 void RmiSystem::fulfill_pending(MachineContext& ctx, std::uint32_t seq,
@@ -309,7 +397,7 @@ om::ObjRef RmiSystem::invoke(std::uint16_t caller, RemoteRef target,
   trace::Recorder* const rec = recorder();
   const std::int64_t call_start_ns =
       rec != nullptr ? m.clock().now().as_nanos() : 0;
-  auto fut = register_pending(cctx, seq).get_future();
+  auto fut = register_pending(cctx, seq, target.machine).get_future();
 
   wire::Message msg;
   msg.header.kind = wire::MsgKind::Call;
@@ -346,6 +434,20 @@ om::ObjRef RmiSystem::invoke(std::uint16_t caller, RemoteRef target,
 
   try {
     cluster_.send(std::move(msg));
+  } catch (const MachineDeadError& e) {
+    // The failure detector already confirmed the endpoint dead: fail the
+    // call immediately with the typed form instead of waiting out the ARQ
+    // retransmit budget.
+    {
+      std::scoped_lock lock(cctx.pending_mu);
+      cctx.pending.erase(seq);
+    }
+    cctx.stats.count_call_timeout();
+    cctx.stats.count_machine_down();
+    trace_instant(trace::EventKind::CallTimeout, caller, callsite_id, seq);
+    throw MachineDown(e.machine(),
+                      "call to machine " + std::to_string(target.machine) +
+                          " failed fast: " + e.what());
   } catch (const ProtocolError& e) {
     // The link's ARQ gave up: the callee is crashed or unreachable.  The
     // failure is synchronous (virtual-time timers, not wall-clock), so it
@@ -362,7 +464,7 @@ om::ObjRef RmiSystem::invoke(std::uint16_t caller, RemoteRef target,
 
   PendingReply rep;
   try {
-    rep = await_pending(cctx, seq, std::move(fut));
+    rep = await_pending(cctx, seq, std::move(fut), target.machine);
   } catch (const RmiTimeout&) {
     trace_instant(trace::EventKind::CallTimeout, caller, callsite_id, seq);
     throw;
@@ -417,7 +519,7 @@ om::ObjRef RmiSystem::invoke_local(std::uint16_t caller, RemoteRef target,
   trace::Recorder* const rec = recorder();
   const std::int64_t call_start_ns =
       rec != nullptr ? m.clock().now().as_nanos() : 0;
-  auto fut = register_pending(cctx, seq).get_future();
+  auto fut = register_pending(cctx, seq, caller).get_future();
   charge_stub(caller, site, args.size(), scalars.size());
 
   // RMI parameter-passing semantics must hold regardless of placement
@@ -471,7 +573,7 @@ om::ObjRef RmiSystem::invoke_local(std::uint16_t caller, RemoteRef target,
     add_site_pass(site.plan->id, freep);
   }
 
-  PendingReply rep = await_pending(cctx, seq, std::move(fut));
+  PendingReply rep = await_pending(cctx, seq, std::move(fut), caller);
   RMIOPT_CHECK(rep.is_local, "remote reply on local path");
   trace_span(trace::EventKind::LocalCall, caller, site.plan->id, seq,
              call_start_ns);
@@ -640,6 +742,12 @@ void RmiSystem::dispatch_loop(std::uint16_t machine_id) {
       ctx.executor->execute([this, machine_id, call] {
         execute_call(machine_id, std::move(*call));
       });
+      continue;
+    }
+    if (h.kind == wire::MsgKind::Heartbeat) {
+      // Defensive: detector probes never enter inboxes (they terminate in
+      // the detector's own sink), but a hand-crafted frame could carry the
+      // kind.  Swallow it rather than misread it as a reply.
       continue;
     }
     // A reply: wake the caller blocked on this sequence number.  A reply

@@ -87,6 +87,22 @@ class RmiTimeout : public Error {
   explicit RmiTimeout(const std::string& what) : Error(what) {}
 };
 
+// The failure detector confirmed the callee (or the caller's own machine)
+// dead, so the call failed in detection time instead of exhausting the
+// retransmit budget.  A subclass of RmiTimeout: existing failover code
+// that catches the base type keeps working, while callers that care can
+// route on the typed form and the machine id.  Same at-most-once caveat
+// as the base class — the call may have executed before the death.
+class MachineDown : public RmiTimeout {
+ public:
+  MachineDown(std::uint16_t machine, const std::string& what)
+      : RmiTimeout(what), machine_(machine) {}
+  std::uint16_t machine() const { return machine_; }
+
+ private:
+  std::uint16_t machine_;
+};
+
 struct HandlerResult {
   om::ObjRef value = nullptr;
   // Callee frees the value graph after the reply is serialized (for return
@@ -192,7 +208,18 @@ class RmiSystem {
     om::ObjRef local_value = nullptr;
     bool is_exception = false;
     std::string error;
+    // The callee was declared dead while the call was in flight
+    // (fail_pending_to): await_pending converts this to MachineDown.
+    bool machine_down = false;
     wire::Message msg;
+  };
+
+  // One in-flight synchronous call, keyed by seq in MachineContext::
+  // pending.  `dest` lets fail_pending_to find every call addressed to a
+  // machine the detector just declared dead.
+  struct PendingSlot {
+    std::promise<PendingReply> promise;
+    std::uint16_t dest = 0;
   };
 
   struct ReuseSlot {
@@ -218,7 +245,7 @@ class RmiSystem {
     std::vector<om::ObjRef> exports;
     std::mutex exports_mu;
     std::mutex pending_mu;
-    std::unordered_map<std::uint32_t, std::promise<PendingReply>> pending;
+    std::unordered_map<std::uint32_t, PendingSlot> pending;
     // At-most-once state, keyed on call_key(caller, seq): every remote
     // call this machine has accepted.  Bounded FIFO eviction — the window
     // must outlive any plausible duplicate, not the whole run.
@@ -268,15 +295,29 @@ class RmiSystem {
   void free_arg_graphs(om::Heap& heap, std::span<const om::ObjRef> args,
                        serial::SerialStats& pass);
   std::promise<PendingReply>& register_pending(MachineContext& ctx,
-                                               std::uint32_t seq);
+                                               std::uint32_t seq,
+                                               std::uint16_t dest);
   void fulfill_pending(MachineContext& ctx, std::uint32_t seq,
                        PendingReply reply);
   // Dispatcher-facing variant: a reply whose call is not pending (a stray
-  // from the network) is reported as false, never fatal.
+  // from the network) is reported as false, never fatal.  Fulfillment
+  // erases the entry, so a second reply for the same seq — e.g. a late
+  // real reply after fail_pending_to already failed the call — is a
+  // counted stray, never a write to a consumed promise.
   bool try_fulfill_pending(MachineContext& ctx, std::uint32_t seq,
                            PendingReply reply);
+  // Fails every pending call addressed to `machine` with machine_down —
+  // the failure detector's death callback, releasing callers already
+  // blocked before the death was confirmed.
+  void fail_pending_to(std::uint16_t machine);
+  // Blocks until the reply arrives.  With a failure detector attached the
+  // real-time wait is sliced so a blocked caller periodically polls the
+  // detector at the cluster makespan and fails over with MachineDown as
+  // soon as `dest` is confirmed dead (its burning ARQ advances virtual
+  // time even when the caller's own thread is parked).
   PendingReply await_pending(MachineContext& ctx, std::uint32_t seq,
-                             std::future<PendingReply> fut);
+                             std::future<PendingReply> fut,
+                             std::uint16_t dest);
 
   // ---- at-most-once ---------------------------------------------------------
   static constexpr std::uint64_t call_key(std::uint16_t caller,

@@ -47,6 +47,7 @@ struct RmiStatsSnapshot {
   std::uint64_t replayed_replies = 0;   // cached replies re-sent verbatim
   std::uint64_t stray_replies = 0;      // replies with no pending call
   std::uint64_t call_timeouts = 0;      // invocations that raised RmiTimeout
+  std::uint64_t machine_down_failures = 0;  // of which: typed MachineDown
   std::uint64_t undeliverable_replies = 0;  // replies lost to a dead link
   std::uint64_t reply_cache_pins = 0;   // evictions skipped: call in flight
 
@@ -58,6 +59,7 @@ struct RmiStatsSnapshot {
     replayed_replies += o.replayed_replies;
     stray_replies += o.stray_replies;
     call_timeouts += o.call_timeouts;
+    machine_down_failures += o.machine_down_failures;
     undeliverable_replies += o.undeliverable_replies;
     reply_cache_pins += o.reply_cache_pins;
     return *this;
@@ -101,6 +103,10 @@ class RmiStats {
   void count_call_timeout() {
     std::scoped_lock lock(mu_);
     ++snap_.call_timeouts;
+  }
+  void count_machine_down() {
+    std::scoped_lock lock(mu_);
+    ++snap_.machine_down_failures;
   }
   void count_undeliverable_reply() {
     std::scoped_lock lock(mu_);

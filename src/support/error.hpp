@@ -17,6 +17,7 @@
 //    traffic, counters, or rmi::RmiTimeout at the call boundary.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -37,6 +38,21 @@ class DecodeError : public Error {
 class ProtocolError : public Error {
  public:
   explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+// The failure detector declared `machine` dead: traffic to (or from) it
+// fails immediately instead of waiting out the retransmit budget, which
+// bounds failover latency by detection time rather than by the ARQ's
+// exponential backoff.  The RMI layer converts this into the typed
+// rmi::MachineDown at the call boundary.
+class MachineDeadError : public ProtocolError {
+ public:
+  MachineDeadError(std::uint16_t machine, const std::string& what)
+      : ProtocolError(what), machine_(machine) {}
+  std::uint16_t machine() const { return machine_; }
+
+ private:
+  std::uint16_t machine_;
 };
 
 // A compiled artifact was asked for something the compiler never produced

@@ -49,6 +49,14 @@ std::string_view to_string(EventKind k) {
       return "dedup drop";
     case EventKind::DedupLateRecovery:
       return "dedup late recovery";
+    case EventKind::Heartbeat:
+      return "heartbeat";
+    case EventKind::HeartbeatMiss:
+      return "heartbeat miss";
+    case EventKind::MachineSuspected:
+      return "machine suspected";
+    case EventKind::MachineDead:
+      return "machine dead";
     case EventKind::CompilePass:
       return "compile pass";
     case EventKind::CompileCacheHit:

@@ -68,6 +68,12 @@ enum class EventKind : std::uint8_t {
   // ---- receive window (link tracks, instant) -------------------------------
   DedupDrop,          // duplicate/stale frame discarded by the window
   DedupLateRecovery,  // delayed frame below a forced horizon delivered
+  // ---- failure detection (heartbeats on link tracks, verdicts on the
+  // suspected machine's track; all instant) ----------------------------------
+  Heartbeat,         // probe-round heartbeat reached the monitor
+  HeartbeatMiss,     // expected heartbeat missing (crash or drop)
+  MachineSuspected,  // consecutive misses crossed the suspicion threshold
+  MachineDead,       // suspicion confirmed: machine declared dead (latched)
   // ---- compiler (kCompilerTrack, real-time axis) ---------------------------
   CompilePass,      // one pipeline pass executed (span; seq = PassId)
   CompileCacheHit,  // pass result served from the cache (instant; seq = PassId)

@@ -27,7 +27,7 @@ void encode_message(ByteBuffer& out, const Message& msg) {
 Message decode_message(ByteBuffer& in) {
   Message msg;
   const std::uint8_t kind = in.get_u8();
-  RMIOPT_CHECK(kind <= static_cast<std::uint8_t>(MsgKind::Exception),
+  RMIOPT_CHECK(kind <= static_cast<std::uint8_t>(MsgKind::Heartbeat),
                "frame carries unknown message kind");
   msg.header.kind = static_cast<MsgKind>(kind);
   msg.header.callsite_id = in.get_u32();

@@ -26,6 +26,7 @@ enum class MsgKind : std::uint8_t {
   Return,     // response with serialized return value
   Ack,        // response without a value (return elided at the call site)
   Exception,  // response carrying a remote exception message
+  Heartbeat,  // liveness probe (failure detector); no payload, no reply
 };
 
 // Object-stream tags.  BARE streams use Ref* tags only where cycle
