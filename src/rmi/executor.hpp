@@ -32,13 +32,50 @@ struct ExecutorConfig {
   // enables concurrent handler execution.
   std::size_t dispatch_workers = 1;
 
-  // Real-time backstop on a blocked synchronous call, in milliseconds
-  // (0 = wait forever).  Link failures surface *synchronously* through
-  // the virtual-time ARQ (the send itself throws, converted to a typed
-  // RmiTimeout), so on the deterministic paths this timer never fires;
-  // it only converts a genuinely lost reply — e.g. a callee that crashed
-  // after accepting the call — from a hang into an RmiTimeout.
+  // Real-time backstop on a blocked synchronous call, in milliseconds.
+  // Any value <= 0 *disables* the backstop: the caller waits forever (the
+  // defined semantics — 0 and negative values are equivalent, tested by
+  // OverloadTest.NonPositiveCallTimeoutDisablesTheBackstop).  Link
+  // failures surface *synchronously* through the virtual-time ARQ (the
+  // send itself throws, converted to a typed RmiTimeout), so on the
+  // deterministic paths this timer never fires; it only converts a
+  // genuinely lost reply — e.g. a callee that crashed after accepting the
+  // call — from a hang into an RmiTimeout.  When it fires, the caller
+  // also sends a best-effort CancelRequest so the callee can stop
+  // computing a reply nobody will read.
   std::int64_t call_timeout_ms = 30'000;
+
+  // ---- deadlines (virtual-time, disabled by default) ----------------------
+  // Default per-call budget in virtual nanoseconds: every invoke with no
+  // explicit CallOptions budget carries `now + default_deadline_ns` as an
+  // absolute deadline in its wire header.  0 (default) = calls carry no
+  // deadline and the wire image is unchanged.
+  std::int64_t default_deadline_ns = 0;
+  // Slack subtracted when a handler's nested invoke inherits its parent
+  // call's remaining budget: child deadline = parent deadline - slack, so
+  // a deep chain fails fast at the first hop that cannot finish in time.
+  std::int64_t deadline_slack_ns = 5'000;
+
+  // ---- admission control (disabled by default) ----------------------------
+  // Bound on the modelled per-callee inbox depth, in calls.  0 (default)
+  // = unbounded: no admission state is kept and the invoke path is
+  // untouched.  When set, each callee machine runs a deterministic
+  // virtual-time queue model (see rmi/admission.hpp): calls that would
+  // push the backlog past the bound are shed with a typed Overload; calls
+  // landing between the high-water mark and the bound are admitted but
+  // charge the *sender* a flow-control credit stall in virtual time
+  // (backpressure), so a cooperative sender slows to the callee's
+  // capacity before anything is shed.
+  std::size_t inbox_bound = 0;
+  // High-water mark where backpressure starts.  0 = inbox_bound / 2.
+  std::size_t inbox_highwater = 0;
+  // Virtual nanoseconds of send delay charged per unit of backlog above
+  // the high-water mark (the flow-control credit stall).
+  std::int64_t credit_stall_ns = 20'000;
+  // Modelled virtual service time of one admitted call, used by the
+  // admission queue model to drain backlog as virtual time passes.
+  // Defaults to roughly one optimized RMI round trip (§3.3: ~40 µs).
+  std::int64_t admission_service_ns = 40'000;
 
   // At-most-once reply-cache entries kept per callee machine.  The FIFO
   // eviction only releases *completed* entries; in-flight calls are

@@ -21,6 +21,10 @@ struct ReplyToken {
   std::uint32_t seq = 0;
   std::uint16_t caller_machine = 0;
   std::uint16_t callee_machine = 0;
+  // Fire-and-forget call: the caller keeps no pending slot, so send_reply /
+  // send_exception must not put a reply on the wire (the at-most-once cache
+  // still records completion so duplicates are suppressed).
+  bool oneway = false;
 };
 
 }  // namespace rmiopt::rmi

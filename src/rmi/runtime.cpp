@@ -1,10 +1,89 @@
 #include "rmi/runtime.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <unordered_set>
 
 namespace rmiopt::rmi {
+
+namespace {
+
+// The deadline of the call whose handler this thread is currently
+// running (0 = none).  Nested invokes issued from inside a handler read
+// it to inherit the remaining budget; it is set strictly around handler
+// execution, so app threads and idle workers always see 0.
+thread_local std::int64_t t_ambient_deadline_ns = 0;
+
+class AmbientDeadlineScope {
+ public:
+  explicit AmbientDeadlineScope(std::int64_t deadline_ns)
+      : saved_(t_ambient_deadline_ns) {
+    t_ambient_deadline_ns = deadline_ns;
+  }
+  ~AmbientDeadlineScope() { t_ambient_deadline_ns = saved_; }
+  AmbientDeadlineScope(const AmbientDeadlineScope&) = delete;
+  AmbientDeadlineScope& operator=(const AmbientDeadlineScope&) = delete;
+
+ private:
+  std::int64_t saved_;
+};
+
+}  // namespace
+
+// Shared state of one invoke_async: the send half fills it on the
+// caller's thread; RmiFuture::get() hands it back to finish_remote.  For
+// a local target the call already ran inline and the outcome is stored
+// directly.
+struct AsyncCallState {
+  RmiSystem* sys = nullptr;
+  std::uint16_t caller = 0;
+  RemoteRef target;
+  std::uint32_t callsite_id = 0;
+  std::uint32_t seq = 0;
+  bool is_local = false;
+  om::ObjRef local_value = nullptr;
+  std::exception_ptr local_error;
+  std::future<RmiSystem::PendingReply> fut;
+  std::int64_t call_start_ns = 0;  // caller-perceived Call span (tracing)
+  std::uint64_t request_bytes = 0;
+  std::atomic<bool> cancel_sent{false};
+};
+
+// ---- RmiFuture --------------------------------------------------------------
+
+RmiFuture::RmiFuture() noexcept = default;
+RmiFuture::~RmiFuture() = default;
+RmiFuture::RmiFuture(RmiFuture&&) noexcept = default;
+RmiFuture& RmiFuture::operator=(RmiFuture&&) noexcept = default;
+RmiFuture::RmiFuture(std::shared_ptr<AsyncCallState> state) noexcept
+    : state_(std::move(state)) {}
+
+bool RmiFuture::valid() const { return state_ != nullptr; }
+
+om::ObjRef RmiFuture::get() {
+  RMIOPT_CHECK(state_ != nullptr, "get() on an invalid RmiFuture");
+  const std::shared_ptr<AsyncCallState> st = std::move(state_);
+  if (st->is_local) {
+    if (st->local_error) std::rethrow_exception(st->local_error);
+    return st->local_value;
+  }
+  return st->sys->finish_remote(*st);
+}
+
+bool RmiFuture::wait_for(std::int64_t real_ms) {
+  RMIOPT_CHECK(state_ != nullptr, "wait_for() on an invalid RmiFuture");
+  if (state_->is_local) return true;
+  return state_->fut.wait_for(std::chrono::milliseconds(
+             real_ms > 0 ? real_ms : 0)) == std::future_status::ready;
+}
+
+void RmiFuture::cancel() {
+  if (state_ == nullptr || state_->is_local) return;
+  if (state_->cancel_sent.exchange(true)) return;  // idempotent
+  state_->sys->send_cancel_raw(state_->caller, state_->target.machine,
+                               state_->callsite_id, state_->seq);
+}
 
 RmiSystem::RmiSystem(net::Cluster& cluster, const om::TypeRegistry& types,
                      const ExecutorConfig& executor)
@@ -14,6 +93,9 @@ RmiSystem::RmiSystem(net::Cluster& cluster, const om::TypeRegistry& types,
     contexts_.push_back(std::make_unique<MachineContext>());
     contexts_.back()->executor =
         std::make_unique<DispatchExecutor>(executor.dispatch_workers);
+    contexts_.back()->admission = std::make_unique<AdmissionController>(
+        executor.inbox_bound, executor.inbox_highwater,
+        executor.credit_stall_ns, executor.admission_service_ns);
   }
 }
 
@@ -166,6 +248,79 @@ void RmiSystem::charge_stub(std::uint16_t machine_id,
   cluster_.machine(machine_id).clock().advance(SimTime::nanos(ns));
 }
 
+std::string RmiSystem::site_desc(std::uint32_t callsite_id) const {
+  if (callsite_id >= callsites_.size()) {
+    return "site " + std::to_string(callsite_id) + " (unknown)";
+  }
+  const CompiledCallSite& s = callsites_[callsite_id];
+  return "site " + std::to_string(callsite_id) + " (" + s.plan->name + ", " +
+         std::string(codegen::to_string(s.level)) + ")";
+}
+
+std::int64_t RmiSystem::compute_deadline(std::int64_t now_ns,
+                                         const CallOptions& opts) const {
+  std::int64_t base = 0;
+  if (opts.budget_ns > 0) {
+    base = now_ns + opts.budget_ns;
+  } else if (exec_cfg_.default_deadline_ns > 0) {
+    base = now_ns + exec_cfg_.default_deadline_ns;
+  }
+  std::int64_t inherited = 0;
+  if (t_ambient_deadline_ns != 0) {
+    inherited = t_ambient_deadline_ns - exec_cfg_.deadline_slack_ns;
+    // 0 means "no deadline"; an inherited budget that erodes to exactly 0
+    // is *expired*, so keep it distinguishable (any nonzero value <= now
+    // reads as expired downstream).
+    if (inherited == 0) inherited = -1;
+  }
+  if (base == 0) return inherited;
+  if (inherited == 0) return base;
+  return std::min(base, inherited);
+}
+
+void RmiSystem::send_cancel_raw(std::uint16_t caller, std::uint16_t dest,
+                                std::uint32_t callsite_id,
+                                std::uint32_t seq) {
+  MachineContext& cctx = *contexts_.at(caller);
+  cctx.stats.count_cancel_sent();
+  trace_instant(trace::EventKind::CancelSent, caller, callsite_id, seq);
+  wire::Message c;
+  c.header.kind = wire::MsgKind::Cancel;
+  c.header.callsite_id = callsite_id;
+  c.header.seq = seq;
+  c.header.source_machine = caller;
+  c.header.dest_machine = dest;
+  try {
+    cluster_.send(std::move(c));
+  } catch (const Error&) {
+    // Best-effort by contract: an undeliverable cancel only means the
+    // callee computes a reply the caller will drop as a stray.
+  }
+}
+
+void RmiSystem::reject_remote_call(MachineContext& ctx,
+                                   const ReplyToken& token,
+                                   wire::RejectCode code,
+                                   const std::string& reason) {
+  wire::Message rej;
+  rej.header.kind = wire::MsgKind::Reject;
+  rej.header.callsite_id = token.callsite_id;
+  rej.header.seq = token.seq;
+  rej.header.source_machine = token.callee_machine;
+  rej.header.dest_machine = token.caller_machine;
+  rej.payload.put_u8(static_cast<std::uint8_t>(code));
+  rej.payload.put_string(reason);
+  // Tombstone: a duplicate of this call replays the typed refusal instead
+  // of re-executing (at-most-once holds across cancellation).
+  cache_reply(ctx, call_key(token.caller_machine, token.seq), rej);
+  if (token.oneway) return;  // fire-and-forget: nobody is waiting
+  try {
+    cluster_.send(std::move(rej));
+  } catch (const ProtocolError&) {
+    ctx.stats.count_undeliverable_reply();
+  }
+}
+
 std::promise<RmiSystem::PendingReply>& RmiSystem::register_pending(
     MachineContext& ctx, std::uint32_t seq, std::uint16_t dest) {
   std::scoped_lock lock(ctx.pending_mu);
@@ -175,8 +330,8 @@ std::promise<RmiSystem::PendingReply>& RmiSystem::register_pending(
 }
 
 RmiSystem::PendingReply RmiSystem::await_pending(
-    MachineContext& ctx, std::uint32_t seq,
-    std::future<PendingReply> fut, std::uint16_t dest) {
+    MachineContext& ctx, std::uint16_t caller, std::uint32_t callsite_id,
+    std::uint32_t seq, std::future<PendingReply> fut, std::uint16_t dest) {
   const std::int64_t budget_ms = exec_cfg_.call_timeout_ms;
   net::FailureDetector* const fd = cluster_.detector();
   bool timed_out = false;
@@ -209,7 +364,8 @@ RmiSystem::PendingReply RmiSystem::await_pending(
         ctx.stats.count_call_timeout();
         ctx.stats.count_machine_down();
         throw MachineDown(
-            dest, "call seq " + std::to_string(seq) + " to machine " +
+            dest, "call seq " + std::to_string(seq) + " via " +
+                      site_desc(callsite_id) + " to machine " +
                       std::to_string(dest) +
                       ": machine declared dead while awaiting the reply");
       }
@@ -226,9 +382,12 @@ RmiSystem::PendingReply RmiSystem::await_pending(
       ctx.pending.erase(seq);
     }
     ctx.stats.count_call_timeout();
-    throw RmiTimeout("call seq " + std::to_string(seq) +
-                     ": no reply within " + std::to_string(budget_ms) +
-                     " ms");
+    // The callee may still be computing: tell it to stop (best-effort) so
+    // the reply nobody will read is abandoned at the next poll boundary.
+    if (dest != caller) send_cancel_raw(caller, dest, callsite_id, seq);
+    throw RmiTimeout("call seq " + std::to_string(seq) + " via " +
+                     site_desc(callsite_id) + ": no reply within " +
+                     std::to_string(budget_ms) + " ms");
   }
   PendingReply rep = fut.get();
   {
@@ -238,13 +397,33 @@ RmiSystem::PendingReply RmiSystem::await_pending(
   if (rep.machine_down) {
     ctx.stats.count_call_timeout();
     ctx.stats.count_machine_down();
-    throw MachineDown(dest, "call seq " + std::to_string(seq) +
-                                " to machine " + std::to_string(dest) +
+    throw MachineDown(dest, "call seq " + std::to_string(seq) + " via " +
+                                site_desc(callsite_id) + " to machine " +
+                                std::to_string(dest) +
                                 ": machine declared dead");
   }
   if (rep.is_exception) throw RemoteException(rep.error);
   if (!rep.is_local && rep.msg.header.kind == wire::MsgKind::Exception) {
     throw RemoteException(rep.msg.payload.get_string());
+  }
+  if (!rep.is_local && rep.msg.header.kind == wire::MsgKind::Reject) {
+    // The callee refused (or abandoned) the call without running its
+    // handler to completion: map the code back to the typed exception.
+    const auto code = static_cast<wire::RejectCode>(rep.msg.payload.get_u8());
+    const std::string reason = rep.msg.payload.get_string();
+    const std::string what = "call seq " + std::to_string(seq) + " via " +
+                             site_desc(callsite_id) + " to machine " +
+                             std::to_string(dest) + ": " + reason;
+    switch (code) {
+      case wire::RejectCode::DeadlineExceeded:
+        ctx.stats.count_call_timeout();
+        throw DeadlineExceeded(what);
+      case wire::RejectCode::Overload:
+        throw Overload(what);
+      case wire::RejectCode::Cancelled:
+        throw Cancelled(what);
+    }
+    throw RmiTimeout(what);  // unknown code from a newer peer
   }
   return rep;
 }
@@ -379,25 +558,103 @@ void RmiSystem::free_arg_graphs(om::Heap& heap,
 om::ObjRef RmiSystem::invoke(std::uint16_t caller, RemoteRef target,
                              std::uint32_t callsite_id,
                              std::span<const om::ObjRef> args,
-                             std::span<const std::int64_t> scalars) {
+                             std::span<const std::int64_t> scalars,
+                             const CallOptions& opts) {
+  // The one code path: synchronous RMI is an async send consumed at once.
+  return invoke_async(caller, target, callsite_id, args, scalars, opts)
+      .get();
+}
+
+RmiFuture RmiSystem::invoke_async(std::uint16_t caller, RemoteRef target,
+                                  std::uint32_t callsite_id,
+                                  std::span<const om::ObjRef> args,
+                                  std::span<const std::int64_t> scalars,
+                                  const CallOptions& opts) {
   const CompiledCallSite& site = callsite(callsite_id);
   const serial::CallSitePlan& plan = *site.plan;
   RMIOPT_CHECK(args.size() == plan.args.size(),
                "argument count does not match call-site plan");
   const std::uint32_t seq = next_seq_.fetch_add(1);
-
-  if (target.machine == caller) {
-    return invoke_local(caller, target, site, args, scalars, seq);
-  }
-
   MachineContext& cctx = *contexts_.at(caller);
   net::Machine& m = cluster_.machine(caller);
+
+  const std::int64_t deadline =
+      compute_deadline(m.clock().now().as_nanos(), opts);
+  if (deadline != 0 && m.clock().now().as_nanos() >= deadline) {
+    // Fail fast at the first hop that cannot finish in time: do not
+    // serialize, do not send.
+    cctx.stats.count_deadline_reject();
+    trace_instant(trace::EventKind::DeadlineReject, caller, callsite_id,
+                  seq);
+    throw DeadlineExceeded("call via " + site_desc(callsite_id) +
+                           " to machine " + std::to_string(target.machine) +
+                           ": budget exhausted before the send");
+  }
+
+  auto st = std::make_shared<AsyncCallState>();
+  st->sys = this;
+  st->caller = caller;
+  st->target = target;
+  st->callsite_id = callsite_id;
+  st->seq = seq;
+
+  if (target.machine == caller) {
+    // The local path is synchronous by construction (the handler runs
+    // inline on this thread): execute now, hand back a ready future.
+    st->is_local = true;
+    try {
+      st->local_value =
+          invoke_local(caller, target, site, args, scalars, seq, deadline);
+    } catch (...) {
+      st->local_error = std::current_exception();
+    }
+    return RmiFuture(std::move(st));
+  }
+
+  // Admission control, evaluated against the callee's deterministic
+  // virtual-time inbox model *before* any work is invested in the call.
+  AdmissionController& adm = *contexts_.at(target.machine)->admission;
+  if (adm.enabled()) {
+    const AdmissionController::Decision d =
+        adm.admit(m.clock().now().as_nanos());
+    if (d.stall_ns > 0) {
+      // Backpressure: the flow-control credit delays this sender's
+      // virtual-time send, pacing it to the callee's capacity.
+      trace::Recorder* const rec = recorder();
+      const std::int64_t stall_start =
+          rec != nullptr ? m.clock().now().as_nanos() : 0;
+      m.clock().advance(SimTime::nanos(d.stall_ns));
+      cctx.stats.count_credit_stall();
+      trace_span(trace::EventKind::CreditStall, caller, callsite_id, seq,
+                 stall_start);
+    }
+    if (!d.admitted) {
+      cctx.stats.count_shed();
+      trace_instant(trace::EventKind::OverloadShed, caller, callsite_id,
+                    seq);
+      throw Overload("call via " + site_desc(callsite_id) + " to machine " +
+                     std::to_string(target.machine) +
+                     " shed: inbox at its bound (" +
+                     std::to_string(exec_cfg_.inbox_bound) +
+                     "); retry with backoff");
+    }
+    // The stall consumed part of the budget; re-check before sending.
+    if (deadline != 0 && m.clock().now().as_nanos() >= deadline) {
+      cctx.stats.count_deadline_reject();
+      trace_instant(trace::EventKind::DeadlineReject, caller, callsite_id,
+                    seq);
+      throw DeadlineExceeded(
+          "call via " + site_desc(callsite_id) + " to machine " +
+          std::to_string(target.machine) +
+          ": budget exhausted by flow-control backpressure");
+    }
+  }
+
   cctx.stats.count_remote_rpc();
   // Caller-perceived Call span: from here to the reply's deserialization.
   trace::Recorder* const rec = recorder();
-  const std::int64_t call_start_ns =
-      rec != nullptr ? m.clock().now().as_nanos() : 0;
-  auto fut = register_pending(cctx, seq, target.machine).get_future();
+  st->call_start_ns = rec != nullptr ? m.clock().now().as_nanos() : 0;
+  st->fut = register_pending(cctx, seq, target.machine).get_future();
 
   wire::Message msg;
   msg.header.kind = wire::MsgKind::Call;
@@ -406,6 +663,7 @@ om::ObjRef RmiSystem::invoke(std::uint16_t caller, RemoteRef target,
   msg.header.seq = seq;
   msg.header.source_machine = caller;
   msg.header.dest_machine = target.machine;
+  msg.header.deadline_ns = deadline;
 
   msg.payload.put_varint(scalars.size());
   for (const std::int64_t s : scalars) msg.payload.put_i64(s);
@@ -427,7 +685,7 @@ om::ObjRef RmiSystem::invoke(std::uint16_t caller, RemoteRef target,
       }
     }
   }
-  const std::uint64_t request_bytes = msg.payload.size();
+  st->request_bytes = msg.payload.size();
   charge(caller, pass);
   cctx.stats.add_pass(pass);
   add_site_pass(callsite_id, pass, 0, 1);
@@ -446,7 +704,8 @@ om::ObjRef RmiSystem::invoke(std::uint16_t caller, RemoteRef target,
     cctx.stats.count_machine_down();
     trace_instant(trace::EventKind::CallTimeout, caller, callsite_id, seq);
     throw MachineDown(e.machine(),
-                      "call to machine " + std::to_string(target.machine) +
+                      "call via " + site_desc(callsite_id) + " to machine " +
+                          std::to_string(target.machine) +
                           " failed fast: " + e.what());
   } catch (const ProtocolError& e) {
     // The link's ARQ gave up: the callee is crashed or unreachable.  The
@@ -458,13 +717,26 @@ om::ObjRef RmiSystem::invoke(std::uint16_t caller, RemoteRef target,
     }
     cctx.stats.count_call_timeout();
     trace_instant(trace::EventKind::CallTimeout, caller, callsite_id, seq);
-    throw RmiTimeout("call to machine " + std::to_string(target.machine) +
+    throw RmiTimeout("call via " + site_desc(callsite_id) + " to machine " +
+                     std::to_string(target.machine) +
                      " undeliverable: " + e.what());
   }
+  return RmiFuture(std::move(st));
+}
+
+om::ObjRef RmiSystem::finish_remote(AsyncCallState& st) {
+  const std::uint16_t caller = st.caller;
+  const std::uint32_t callsite_id = st.callsite_id;
+  const std::uint32_t seq = st.seq;
+  const CompiledCallSite& site = callsite(callsite_id);
+  const serial::CallSitePlan& plan = *site.plan;
+  MachineContext& cctx = *contexts_.at(caller);
+  net::Machine& m = cluster_.machine(caller);
 
   PendingReply rep;
   try {
-    rep = await_pending(cctx, seq, std::move(fut), target.machine);
+    rep = await_pending(cctx, caller, callsite_id, seq, std::move(st.fut),
+                        st.target.machine);
   } catch (const RmiTimeout&) {
     trace_instant(trace::EventKind::CallTimeout, caller, callsite_id, seq);
     throw;
@@ -472,10 +744,11 @@ om::ObjRef RmiSystem::invoke(std::uint16_t caller, RemoteRef target,
   RMIOPT_CHECK(!rep.is_local, "local reply on remote path");
   if (rep.msg.header.kind == wire::MsgKind::Ack) {
     trace_span(trace::EventKind::Call, caller, callsite_id, seq,
-               call_start_ns, request_bytes);
+               st.call_start_ns, st.request_bytes);
     return nullptr;
   }
 
+  const bool cycle_enabled = site.heavy || plan.needs_cycle_table;
   const std::uint64_t reply_bytes = rep.msg.payload.size();
   serial::SerialStats rpass;
   serial::SerialReader r(
@@ -503,16 +776,182 @@ om::ObjRef RmiSystem::invoke(std::uint16_t caller, RemoteRef target,
   charge(caller, rpass);
   cctx.stats.add_pass(rpass);
   add_site_pass(callsite_id, rpass);
-  trace_span(trace::EventKind::Call, caller, callsite_id, seq, call_start_ns,
-             request_bytes + reply_bytes);
+  trace_span(trace::EventKind::Call, caller, callsite_id, seq,
+             st.call_start_ns, st.request_bytes + reply_bytes);
   return value;
+}
+
+void RmiSystem::invoke_oneway(std::uint16_t caller, RemoteRef target,
+                              std::uint32_t callsite_id,
+                              std::span<const om::ObjRef> args,
+                              std::span<const std::int64_t> scalars,
+                              const CallOptions& opts) {
+  const CompiledCallSite& site = callsite(callsite_id);
+  const serial::CallSitePlan& plan = *site.plan;
+  RMIOPT_CHECK(args.size() == plan.args.size(),
+               "argument count does not match call-site plan");
+  const std::uint32_t seq = next_seq_.fetch_add(1);
+  MachineContext& cctx = *contexts_.at(caller);
+  net::Machine& m = cluster_.machine(caller);
+
+  const std::int64_t deadline =
+      compute_deadline(m.clock().now().as_nanos(), opts);
+  if (deadline != 0 && m.clock().now().as_nanos() >= deadline) {
+    cctx.stats.count_deadline_reject();
+    trace_instant(trace::EventKind::DeadlineReject, caller, callsite_id,
+                  seq);
+    throw DeadlineExceeded("oneway call via " + site_desc(callsite_id) +
+                           " to machine " + std::to_string(target.machine) +
+                           ": budget exhausted before the send");
+  }
+
+  if (target.machine == caller) {
+    // Local fire-and-forget: clone (copy semantics, §1), run inline,
+    // discard the outcome.  The oneway token suppresses every reply path,
+    // including a handler's deferred send_reply.
+    cctx.stats.count_local_rpc();
+    cctx.stats.count_oneway_call();
+    trace_instant(trace::EventKind::OnewaySend, caller, callsite_id, seq);
+    charge_stub(caller, site, args.size(), scalars.size());
+
+    serial::SerialStats pass;
+    std::vector<om::ObjRef> cloned;
+    cloned.reserve(args.size());
+    for (om::ObjRef a : args) {
+      om::ObjRef c = a ? om::deep_clone(m.heap(), a) : nullptr;
+      const om::GraphExtent ext = om::graph_extent(c);
+      pass.objects_allocated += ext.objects;
+      pass.bytes_allocated += ext.bytes;
+      pass.bytes_copied += ext.bytes;
+      cloned.push_back(c);
+    }
+    charge(caller, pass);
+    cctx.stats.add_pass(pass);
+    add_site_pass(callsite_id, pass, 1, 0);
+
+    om::ObjRef self = nullptr;
+    {
+      std::scoped_lock lock(cctx.exports_mu);
+      RMIOPT_CHECK(target.export_id < cctx.exports.size(),
+                   "unknown export id");
+      self = cctx.exports[target.export_id];
+    }
+    ReplyToken token{callsite_id, seq, caller, caller};
+    token.oneway = true;
+    CallContext cc(*this, m, self, token, deadline);
+    m.clock().advance(SimTime::nanos(cluster_.cost().upcall_dispatch_ns));
+    HandlerResult res;
+    try {
+      AmbientDeadlineScope scope(deadline);
+      res = methods_[site.method_id].second(cc, scalars, cloned);
+    } catch (const Error& e) {
+      res = HandlerResult::exception(e.what());
+    }
+    if (!res.deferred) {
+      if (res.is_exception) {
+        send_exception(token, res.error);  // oneway: swallowed
+      } else {
+        send_reply(token, res.value, res.give_ownership);
+      }
+    }
+    if (!res.args_consumed) {
+      serial::SerialStats freep;
+      free_arg_graphs(m.heap(), cloned, freep);
+      charge(caller, freep);
+      cctx.stats.add_pass(freep);
+      add_site_pass(callsite_id, freep);
+    }
+    return;
+  }
+
+  // Remote fire-and-forget: same admission and pricing as invoke_async,
+  // but no pending slot — nothing will ever come back.
+  AdmissionController& adm = *contexts_.at(target.machine)->admission;
+  if (adm.enabled()) {
+    const AdmissionController::Decision d =
+        adm.admit(m.clock().now().as_nanos());
+    if (d.stall_ns > 0) {
+      trace::Recorder* const rec = recorder();
+      const std::int64_t stall_start =
+          rec != nullptr ? m.clock().now().as_nanos() : 0;
+      m.clock().advance(SimTime::nanos(d.stall_ns));
+      cctx.stats.count_credit_stall();
+      trace_span(trace::EventKind::CreditStall, caller, callsite_id, seq,
+                 stall_start);
+    }
+    if (!d.admitted) {
+      cctx.stats.count_shed();
+      trace_instant(trace::EventKind::OverloadShed, caller, callsite_id,
+                    seq);
+      throw Overload("oneway call via " + site_desc(callsite_id) +
+                     " to machine " + std::to_string(target.machine) +
+                     " shed: inbox at its bound (" +
+                     std::to_string(exec_cfg_.inbox_bound) +
+                     "); retry with backoff");
+    }
+  }
+
+  cctx.stats.count_remote_rpc();
+  cctx.stats.count_oneway_call();
+  trace_instant(trace::EventKind::OnewaySend, caller, callsite_id, seq);
+
+  wire::Message msg;
+  msg.header.kind = wire::MsgKind::Call;
+  msg.header.callsite_id = callsite_id;
+  msg.header.target_export = target.export_id;
+  msg.header.seq = seq;
+  msg.header.source_machine = caller;
+  msg.header.dest_machine = target.machine;
+  msg.header.flags = wire::kFlagOneway;
+  msg.header.deadline_ns = deadline;
+
+  msg.payload.put_varint(scalars.size());
+  for (const std::int64_t s : scalars) msg.payload.put_i64(s);
+  charge_stub(caller, site, args.size(), scalars.size());
+
+  const bool cycle_enabled = site.heavy || plan.needs_cycle_table;
+  serial::SerialStats pass;
+  {
+    serial::SerialWriter w(
+        class_plans_, pass, cycle_enabled,
+        pass_trace(trace::EventKind::Serialize, caller, callsite_id, seq));
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (site.heavy) {
+        w.write_introspective(msg.payload, args[i]);
+      } else {
+        w.write(msg.payload, *plan.args[i], args[i]);
+      }
+    }
+  }
+  charge(caller, pass);
+  cctx.stats.add_pass(pass);
+  add_site_pass(callsite_id, pass, 0, 1);
+
+  try {
+    cluster_.send(std::move(msg));
+  } catch (const MachineDeadError& e) {
+    cctx.stats.count_call_timeout();
+    cctx.stats.count_machine_down();
+    trace_instant(trace::EventKind::CallTimeout, caller, callsite_id, seq);
+    throw MachineDown(e.machine(),
+                      "oneway call via " + site_desc(callsite_id) +
+                          " to machine " + std::to_string(target.machine) +
+                          " failed fast: " + e.what());
+  } catch (const ProtocolError& e) {
+    cctx.stats.count_call_timeout();
+    trace_instant(trace::EventKind::CallTimeout, caller, callsite_id, seq);
+    throw RmiTimeout("oneway call via " + site_desc(callsite_id) +
+                     " to machine " + std::to_string(target.machine) +
+                     " undeliverable: " + e.what());
+  }
 }
 
 om::ObjRef RmiSystem::invoke_local(std::uint16_t caller, RemoteRef target,
                                    const CompiledCallSite& site,
                                    std::span<const om::ObjRef> args,
                                    std::span<const std::int64_t> scalars,
-                                   std::uint32_t seq) {
+                                   std::uint32_t seq,
+                                   std::int64_t deadline_ns) {
   MachineContext& cctx = *contexts_.at(caller);
   net::Machine& m = cluster_.machine(caller);
   cctx.stats.count_local_rpc();
@@ -547,10 +986,13 @@ om::ObjRef RmiSystem::invoke_local(std::uint16_t caller, RemoteRef target,
     self = cctx.exports[target.export_id];
   }
   const ReplyToken token{site.plan->id, seq, caller, caller};
-  CallContext cc(*this, m, self, token);
+  CallContext cc(*this, m, self, token, deadline_ns);
   m.clock().advance(SimTime::nanos(cluster_.cost().upcall_dispatch_ns));
   HandlerResult res;
   try {
+    // Nested invokes from inside this handler inherit the remaining
+    // budget (minus slack) through the ambient deadline.
+    AmbientDeadlineScope scope(deadline_ns);
     res = methods_[site.method_id].second(cc, scalars, cloned);
   } catch (const Error& e) {
     res = HandlerResult::exception(e.what());
@@ -573,7 +1015,8 @@ om::ObjRef RmiSystem::invoke_local(std::uint16_t caller, RemoteRef target,
     add_site_pass(site.plan->id, freep);
   }
 
-  PendingReply rep = await_pending(cctx, seq, std::move(fut), caller);
+  PendingReply rep =
+      await_pending(cctx, caller, site.plan->id, seq, std::move(fut), caller);
   RMIOPT_CHECK(rep.is_local, "remote reply on local path");
   trace_span(trace::EventKind::LocalCall, caller, site.plan->id, seq,
              call_start_ns);
@@ -587,6 +1030,33 @@ void RmiSystem::send_reply(const ReplyToken& token, om::ObjRef value,
   net::Machine& callee = cluster_.machine(token.callee_machine);
   MachineContext& callee_ctx = *contexts_.at(token.callee_machine);
   const bool has_ret = plan.ret != nullptr;
+
+  if (token.oneway) {
+    // Fire-and-forget: nothing goes on the wire and nobody is fulfilled.
+    // Free a per-call return value, and record completion in the
+    // at-most-once cache so a duplicate is suppressed (silently — the
+    // cached marker is never replayed for oneway calls).
+    if (give_ownership && value != nullptr) {
+      serial::SerialStats pass;
+      const om::GraphExtent ext = om::graph_extent(value);
+      callee.heap().free_graph(value);
+      pass.objects_freed += ext.objects;
+      charge(token.callee_machine, pass);
+      callee_ctx.stats.add_pass(pass);
+      add_site_pass(token.callsite_id, pass);
+    }
+    if (token.caller_machine != token.callee_machine) {
+      wire::Message done;
+      done.header.kind = wire::MsgKind::Ack;
+      done.header.callsite_id = token.callsite_id;
+      done.header.seq = token.seq;
+      done.header.source_machine = token.callee_machine;
+      done.header.dest_machine = token.caller_machine;
+      cache_reply(callee_ctx, call_key(token.caller_machine, token.seq),
+                  done);
+    }
+    return;
+  }
 
   if (token.caller_machine == token.callee_machine) {
     // Local reply: clone the return graph (copy semantics, §1).
@@ -658,6 +1128,21 @@ void RmiSystem::send_reply(const ReplyToken& token, om::ObjRef value,
 }
 
 void RmiSystem::send_exception(const ReplyToken& token, std::string message) {
+  if (token.oneway) {
+    // Fire-and-forget: the exception has nowhere to go.  Record
+    // completion so a duplicate of the call is suppressed, not re-run.
+    if (token.caller_machine != token.callee_machine) {
+      wire::Message done;
+      done.header.kind = wire::MsgKind::Ack;
+      done.header.callsite_id = token.callsite_id;
+      done.header.seq = token.seq;
+      done.header.source_machine = token.callee_machine;
+      done.header.dest_machine = token.caller_machine;
+      cache_reply(*contexts_.at(token.callee_machine),
+                  call_key(token.caller_machine, token.seq), done);
+    }
+    return;
+  }
   if (token.caller_machine == token.callee_machine) {
     PendingReply rep;
     rep.is_local = true;
@@ -691,9 +1176,12 @@ void RmiSystem::dispatch_loop(std::uint16_t machine_id) {
   while (auto env = m.receive_blocking()) {
     const wire::MessageHeader h = env->msg.header;
     if (h.kind == wire::MsgKind::Call) {
+      const bool oneway = (h.flags & wire::kFlagOneway) != 0;
       // At-most-once: a duplicate of a call already executing is dropped;
       // a duplicate of a call already answered gets the cached reply
-      // re-sent verbatim (the handler never runs twice).
+      // re-sent verbatim (the handler never runs twice).  A duplicate of
+      // a oneway call is suppressed silently — its completion marker is
+      // never a real reply.
       const std::uint64_t key = call_key(h.source_machine, h.seq);
       wire::Message replay;
       switch (admit_call(machine_id, ctx, key, &replay)) {
@@ -704,6 +1192,7 @@ void RmiSystem::dispatch_loop(std::uint16_t machine_id) {
           continue;
         case CallAdmission::Replied:
           ctx.stats.count_duplicate_call();
+          if (oneway) continue;
           ctx.stats.count_replayed_reply();
           trace_instant(trace::EventKind::ReplyReplayed, machine_id,
                         h.callsite_id, h.seq);
@@ -716,13 +1205,26 @@ void RmiSystem::dispatch_loop(std::uint16_t machine_id) {
         case CallAdmission::Fresh:
           break;
       }
-      const ReplyToken token{h.callsite_id, h.seq, h.source_machine,
-                             machine_id};
+      ReplyToken token{h.callsite_id, h.seq, h.source_machine, machine_id};
+      token.oneway = oneway;
       if (h.callsite_id >= callsites_.size()) {
         // Externally-derived index: answer with a typed remote exception
         // instead of bringing the callee down.
         send_exception(token, "unknown call site " +
                                   std::to_string(h.callsite_id));
+        continue;
+      }
+      // Deadline gate: refuse to even *decode* a call whose deadline has
+      // passed — the caller already timed out, so every cycle spent here
+      // is wasted.  The Reject is cached as the call's tombstone.
+      if (h.deadline_ns != 0 &&
+          m.clock().now().as_nanos() >= h.deadline_ns) {
+        ctx.stats.count_deadline_reject();
+        trace_instant(trace::EventKind::DeadlineReject, machine_id,
+                      h.callsite_id, h.seq);
+        reject_remote_call(ctx, token, wire::RejectCode::DeadlineExceeded,
+                           "deadline expired before dispatch at " +
+                               site_desc(h.callsite_id));
         continue;
       }
       // Deserialize on the dispatcher (the unmarshaler lock discipline of
@@ -739,9 +1241,31 @@ void RmiSystem::dispatch_loop(std::uint16_t machine_id) {
         send_exception(token, std::string("undecodable call: ") + e.what());
         continue;
       }
+      // Register the cancellation flag before the handler is queued.  The
+      // per-link FIFO means a CancelRequest for this call can only be
+      // processed after this point, so the lookup below never misses a
+      // cancellable call.
+      call->cancel = std::make_shared<CancelToken>();
+      {
+        std::scoped_lock lock(ctx.cancel_mu);
+        ctx.cancel_tokens[key] = call->cancel;
+      }
       ctx.executor->execute([this, machine_id, call] {
         execute_call(machine_id, std::move(*call));
       });
+      continue;
+    }
+    if (h.kind == wire::MsgKind::Cancel) {
+      // Best-effort cancellation: flag the call if it is still here.  A
+      // miss means the call already completed (or was never admitted) —
+      // the cancel simply lost the race.
+      std::shared_ptr<CancelToken> tok;
+      {
+        std::scoped_lock lock(ctx.cancel_mu);
+        auto it = ctx.cancel_tokens.find(call_key(h.source_machine, h.seq));
+        if (it != ctx.cancel_tokens.end()) tok = it->second;
+      }
+      if (tok) tok->request();
       continue;
     }
     if (h.kind == wire::MsgKind::Heartbeat) {
@@ -780,6 +1304,8 @@ RmiSystem::DecodedCall RmiSystem::decode_call(std::uint16_t machine_id,
   call.seq = h.seq;
   call.source = h.source_machine;
   call.target_export = h.target_export;
+  call.deadline_ns = h.deadline_ns;
+  call.oneway = (h.flags & wire::kFlagOneway) != 0;
 
   // Scalars.
   const std::size_t nscalars = env.msg.payload.get_varint();
@@ -831,6 +1357,57 @@ void RmiSystem::execute_call(std::uint16_t machine_id, DecodedCall call) {
   const CompiledCallSite& site = callsite(call.callsite_id);
   m.clock().advance(SimTime::nanos(cluster_.cost().upcall_dispatch_ns));
 
+  ReplyToken token{call.callsite_id, call.seq, call.source, machine_id};
+  token.oneway = call.oneway;
+  const std::uint64_t key = call_key(call.source, call.seq);
+  // The cancellation flag is only live while the call is here: once the
+  // reply (or reject) is decided, a late cancel has lost the race.
+  auto drop_cancel_token = [&] {
+    if (!call.cancel) return;
+    std::scoped_lock lock(ctx.cancel_mu);
+    ctx.cancel_tokens.erase(key);
+  };
+  // Put the decoded arguments back where they belong without running the
+  // handler: reinsert into the reuse slot (§3.3) or free the graphs.
+  auto release_args = [&] {
+    if (call.reuse) {
+      std::scoped_lock lock(call.slot->mu);
+      call.slot->cached = call.args;
+    } else {
+      serial::SerialStats freep;
+      free_arg_graphs(m.heap(), call.args, freep);
+      charge(machine_id, freep);
+      ctx.stats.add_pass(freep);
+      add_site_pass(call.callsite_id, freep);
+    }
+  };
+
+  // Reuse-slot boundary poll #1: a call cancelled (or expired) while it
+  // sat in the executor queue is refused without running the handler.
+  if (call.cancel && call.cancel->requested()) {
+    ctx.stats.count_cancel_honored();
+    trace_instant(trace::EventKind::CancelHonored, machine_id,
+                  call.callsite_id, call.seq);
+    reject_remote_call(ctx, token, wire::RejectCode::Cancelled,
+                       "cancelled before execution at " +
+                           site_desc(call.callsite_id));
+    release_args();
+    drop_cancel_token();
+    return;
+  }
+  if (call.deadline_ns != 0 &&
+      m.clock().now().as_nanos() >= call.deadline_ns) {
+    ctx.stats.count_deadline_reject();
+    trace_instant(trace::EventKind::DeadlineReject, machine_id,
+                  call.callsite_id, call.seq);
+    reject_remote_call(ctx, token, wire::RejectCode::DeadlineExceeded,
+                       "deadline expired before execution at " +
+                           site_desc(call.callsite_id));
+    release_args();
+    drop_cancel_token();
+    return;
+  }
+
   om::ObjRef self = nullptr;
   bool bad_export = false;
   {
@@ -843,19 +1420,34 @@ void RmiSystem::execute_call(std::uint16_t machine_id, DecodedCall call) {
       bad_export = true;
     }
   }
-  const ReplyToken token{call.callsite_id, call.seq, call.source,
-                         machine_id};
-  CallContext cc(*this, m, self, token);
+  CallContext cc(*this, m, self, token, call.deadline_ns,
+                 call.cancel.get());
   trace::Recorder* const rec = recorder();
   const std::int64_t handler_start_ns =
       rec != nullptr ? m.clock().now().as_nanos() : 0;
   HandlerResult res;
+  // A nested invoke that failed fast on deadline or admission propagates
+  // its *typed* verdict to this call's caller (as a Reject, which the
+  // caller maps back), so a deep chain fails with the true reason.
+  bool propagate_reject = false;
+  wire::RejectCode propagate_code = wire::RejectCode::DeadlineExceeded;
   if (bad_export) {
     res = HandlerResult::exception("unknown export id " +
                                    std::to_string(call.target_export));
   } else {
     try {
+      // Nested invokes inherit the remaining budget via the ambient
+      // deadline (minus ExecutorConfig::deadline_slack_ns per hop).
+      AmbientDeadlineScope scope(call.deadline_ns);
       res = methods_[site.method_id].second(cc, call.scalars, call.args);
+    } catch (const DeadlineExceeded& e) {
+      propagate_reject = true;
+      propagate_code = wire::RejectCode::DeadlineExceeded;
+      res = HandlerResult::exception(e.what());
+    } catch (const Overload& e) {
+      propagate_reject = true;
+      propagate_code = wire::RejectCode::Overload;
+      res = HandlerResult::exception(e.what());
     } catch (const Error& e) {
       res = HandlerResult::exception(e.what());
     }
@@ -867,8 +1459,30 @@ void RmiSystem::execute_call(std::uint16_t machine_id, DecodedCall call) {
   // arguments stay live until the reply is serialized (as a GC would
   // ensure).  Handlers whose *deferred* reply uses argument data must set
   // args_consumed and manage the graphs themselves.
+  //
+  // Reuse-slot boundary poll #2: a cancel that arrived while the handler
+  // ran abandons the computed reply — the caller is gone; the tombstone
+  // answers any duplicate with Cancelled instead of re-execution.
   if (!res.deferred) {
-    if (res.is_exception) {
+    if (call.cancel && call.cancel->requested()) {
+      ctx.stats.count_cancel_honored();
+      trace_instant(trace::EventKind::CancelHonored, machine_id,
+                    call.callsite_id, call.seq);
+      if (res.give_ownership && res.value != nullptr) {
+        serial::SerialStats pass;
+        const om::GraphExtent ext = om::graph_extent(res.value);
+        m.heap().free_graph(res.value);
+        pass.objects_freed += ext.objects;
+        charge(machine_id, pass);
+        ctx.stats.add_pass(pass);
+        add_site_pass(call.callsite_id, pass);
+      }
+      reject_remote_call(ctx, token, wire::RejectCode::Cancelled,
+                         "reply abandoned after cancellation at " +
+                             site_desc(call.callsite_id));
+    } else if (propagate_reject) {
+      reject_remote_call(ctx, token, propagate_code, res.error);
+    } else if (res.is_exception) {
       send_exception(token, res.error);
     } else {
       send_reply(token, res.value, res.give_ownership);
@@ -886,6 +1500,7 @@ void RmiSystem::execute_call(std::uint16_t machine_id, DecodedCall call) {
     ctx.stats.add_pass(freep);
     add_site_pass(call.callsite_id, freep);
   }
+  drop_cancel_token();
 }
 
 void RmiSystem::add_site_pass(std::uint32_t callsite_id,

@@ -21,6 +21,7 @@
 // executes what the compiler produced.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <future>
@@ -33,6 +34,7 @@
 
 #include "codegen/opt_level.hpp"
 #include "net/cluster.hpp"
+#include "rmi/admission.hpp"
 #include "rmi/executor.hpp"
 #include "rmi/remote_ref.hpp"
 #include "rmi/stats.hpp"
@@ -103,6 +105,97 @@ class MachineDown : public RmiTimeout {
   std::uint16_t machine_;
 };
 
+// The call's virtual-time deadline passed before the callee could start
+// (or finish) it: the handler did NOT run at this hop — the callee
+// refuses expired work instead of computing replies nobody will read.
+// Subclass of RmiTimeout so existing failover code keeps working.
+class DeadlineExceeded : public RmiTimeout {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : RmiTimeout(what) {}
+};
+
+// Admission control shed the call: the callee's modelled inbox is at its
+// bound.  The handler did not run and nothing was sent, so the caller may
+// retry with backoff — ideally after its virtual clock has advanced past
+// the backlog (see docs/FAULTS.md, "Overload & deadlines").
+class Overload : public Error {
+ public:
+  explicit Overload(const std::string& what) : Error(what) {}
+};
+
+// The call was cancelled — by RmiFuture::cancel() or the caller's
+// real-time backstop — and the callee abandoned it before the reply.
+// At-most-once still holds: the handler ran zero or one times, never two.
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
+// Per-invocation options for invoke / invoke_async / invoke_oneway.
+struct CallOptions {
+  // Explicit virtual-time budget for this call, in nanoseconds; the call
+  // carries `caller_now + budget_ns` as an absolute deadline in its wire
+  // header.  0 = fall back to ExecutorConfig::default_deadline_ns (and to
+  // the ambient parent deadline when invoked from inside a handler —
+  // nested calls always inherit `parent_deadline - deadline_slack_ns`,
+  // whichever bound is tighter).
+  std::int64_t budget_ns = 0;
+};
+
+// Cooperative cancellation flag for one in-flight call.  The dispatcher
+// sets it when a CancelRequest arrives; executor workers poll it at the
+// reuse-slot boundaries (before the handler starts, and again before the
+// reply is sent) and abandon the call with a typed Cancelled reject.
+class CancelToken {
+ public:
+  void request() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+struct AsyncCallState;
+
+// A handle to one in-flight invocation started by RmiSystem::invoke_async.
+// Move-only.  get() blocks for the reply, deserializes it on the caller's
+// clock and returns the value (or throws the call's typed failure);
+// cancel() sends a best-effort CancelRequest — the callee abandons the
+// call at its next poll boundary and the reply comes back as Cancelled,
+// unless a real reply already won the race.  Dropping an un-consumed
+// future abandons the call: a late reply is counted as a stray, never an
+// error.  The future must not outlive its RmiSystem.
+class RmiFuture {
+ public:
+  RmiFuture() noexcept;
+  ~RmiFuture();
+  RmiFuture(RmiFuture&&) noexcept;
+  RmiFuture& operator=(RmiFuture&&) noexcept;
+  RmiFuture(const RmiFuture&) = delete;
+  RmiFuture& operator=(const RmiFuture&) = delete;
+
+  bool valid() const;
+  // Blocks until the reply arrives, then deserializes and returns it.
+  // Consumes the future.  Throws the typed failure: RemoteException,
+  // RmiTimeout / MachineDown / DeadlineExceeded, Overload, Cancelled.
+  om::ObjRef get();
+  // True once the reply is ready (get() will not block).  Real-time wait;
+  // purely observational — no virtual time is charged.
+  bool wait_for(std::int64_t real_ms);
+  // Best-effort cancellation: sends one CancelRequest to the callee.
+  // Idempotent; never blocks; get() remains callable and reports how the
+  // race resolved (Cancelled, or the real reply).
+  void cancel();
+
+ private:
+  friend class RmiSystem;
+  explicit RmiFuture(std::shared_ptr<AsyncCallState> state) noexcept;
+
+  std::shared_ptr<AsyncCallState> state_;
+};
+
 struct HandlerResult {
   om::ObjRef value = nullptr;
   // Callee frees the value graph after the reply is serialized (for return
@@ -130,20 +223,33 @@ struct HandlerResult {
 class CallContext {
  public:
   CallContext(RmiSystem& sys, net::Machine& machine, om::ObjRef self,
-              ReplyToken token)
-      : sys_(sys), machine_(machine), self_(self), token_(token) {}
+              ReplyToken token, std::int64_t deadline_ns = 0,
+              const CancelToken* cancel = nullptr)
+      : sys_(sys),
+        machine_(machine),
+        self_(self),
+        token_(token),
+        deadline_ns_(deadline_ns),
+        cancel_(cancel) {}
 
   RmiSystem& system() { return sys_; }
   net::Machine& machine() { return machine_; }
   om::Heap& heap() { return machine_.heap(); }
   om::ObjRef self() const { return self_; }
   ReplyToken reply_token() const { return token_; }
+  // The absolute virtual-time deadline this call carries (0 = none) and
+  // its cancellation flag, so long-running handlers can bail out
+  // cooperatively instead of computing replies nobody will read.
+  std::int64_t deadline_ns() const { return deadline_ns_; }
+  bool cancelled() const { return cancel_ != nullptr && cancel_->requested(); }
 
  private:
   RmiSystem& sys_;
   net::Machine& machine_;
   om::ObjRef self_;
   ReplyToken token_;
+  std::int64_t deadline_ns_ = 0;
+  const CancelToken* cancel_ = nullptr;
 };
 
 // A remote method implementation.  `scalars` carries primitive parameters
@@ -169,13 +275,41 @@ class RmiSystem {
   void stop();   // drains and joins the dispatchers
 
   // ---- invocation ----------------------------------------------------------
-  // Synchronous RMI from `caller` to `target`.  Returns the deserialized
-  // return value: caller-owned, EXCEPT at reuse_ret call sites where the
-  // runtime retains ownership and recycles the graph on the next call.
+  // Synchronous RMI from `caller` to `target` — a thin wrapper over
+  // invoke_async(...).get(), so there is exactly one code path.  Returns
+  // the deserialized return value: caller-owned, EXCEPT at reuse_ret call
+  // sites where the runtime retains ownership and recycles the graph on
+  // the next call.
   om::ObjRef invoke(std::uint16_t caller, RemoteRef target,
                     std::uint32_t callsite_id,
                     std::span<const om::ObjRef> args,
-                    std::span<const std::int64_t> scalars = {});
+                    std::span<const std::int64_t> scalars = {},
+                    const CallOptions& opts = {});
+
+  // Asynchronous RMI: serializes, charges and sends on the caller's clock
+  // *now*, returns a future for the reply — so one app thread can
+  // pipeline many calls.  Pre-send failures (expired deadline, admission
+  // shed, unreachable callee) throw eagerly from this call; in-flight
+  // failures surface from RmiFuture::get().  A same-machine target runs
+  // the handler inline (the local path is synchronous by construction)
+  // and the returned future is already ready.
+  RmiFuture invoke_async(std::uint16_t caller, RemoteRef target,
+                         std::uint32_t callsite_id,
+                         std::span<const om::ObjRef> args,
+                         std::span<const std::int64_t> scalars = {},
+                         const CallOptions& opts = {});
+
+  // Fire-and-forget RMI for ACK-elided sites: the callee runs the handler
+  // but sends no reply of any kind (not even an Ack), and the caller
+  // keeps no pending state.  Return values and handler exceptions are
+  // discarded; at-most-once duplicate suppression still applies.  Send
+  // failures (dead callee, expired deadline, shed) still throw eagerly —
+  // they are synchronous, deterministic verdicts, not reply timeouts.
+  void invoke_oneway(std::uint16_t caller, RemoteRef target,
+                     std::uint32_t callsite_id,
+                     std::span<const om::ObjRef> args,
+                     std::span<const std::int64_t> scalars = {},
+                     const CallOptions& opts = {});
 
   // Completes a deferred call.  Thread-safe; callable from any thread.
   void send_reply(const ReplyToken& token, om::ObjRef value,
@@ -203,6 +337,9 @@ class RmiSystem {
   const CompiledCallSite& callsite(std::uint32_t id) const;
 
  private:
+  friend class RmiFuture;
+  friend struct AsyncCallState;
+
   struct PendingReply {
     bool is_local = false;
     om::ObjRef local_value = nullptr;
@@ -235,6 +372,8 @@ class RmiSystem {
 
   // Callee-side at-most-once record of one remote call: in progress until
   // the reply is cached, then replayable verbatim for late duplicates.
+  // A cancelled or rejected call caches its Reject message here — the
+  // tombstone: a duplicate replays the typed refusal, never re-executes.
   struct ReplyCacheEntry {
     bool replied = false;
     wire::Message reply;
@@ -256,6 +395,17 @@ class RmiSystem {
     std::unordered_map<std::uint32_t, std::unique_ptr<ReuseSlot>> arg_cache;
     std::unordered_map<std::uint32_t, std::unique_ptr<ReuseSlot>> ret_cache;
     std::mutex cache_mu;
+    // Deterministic virtual-time admission model for calls *into* this
+    // machine, evaluated on the sender's thread (rmi/admission.hpp).
+    // Inert (enabled() == false) under the default unbounded config.
+    std::unique_ptr<AdmissionController> admission;
+    // Cancellation flags for calls currently decoding/executing here,
+    // keyed on call_key(caller, seq).  Registered by the dispatcher on
+    // Fresh admission, erased when execute_call finishes; the per-link
+    // FIFO guarantees a CancelRequest is processed after its Call.
+    std::mutex cancel_mu;
+    std::unordered_map<std::uint64_t, std::shared_ptr<CancelToken>>
+        cancel_tokens;
     std::thread dispatcher;
     std::unique_ptr<DispatchExecutor> executor;
   };
@@ -271,6 +421,9 @@ class RmiSystem {
     std::vector<om::ObjRef> args;
     bool reuse = false;        // reinsert args into the reuse slot after
     ReuseSlot* slot = nullptr;
+    std::int64_t deadline_ns = 0;  // absolute deadline from the header
+    bool oneway = false;           // fire-and-forget: never reply
+    std::shared_ptr<CancelToken> cancel;  // polled at reuse-slot boundaries
   };
 
   void dispatch_loop(std::uint16_t machine_id);
@@ -283,7 +436,28 @@ class RmiSystem {
                           const CompiledCallSite& site,
                           std::span<const om::ObjRef> args,
                           std::span<const std::int64_t> scalars,
-                          std::uint32_t seq);
+                          std::uint32_t seq, std::int64_t deadline_ns);
+  // The blocking half of a remote call (RmiFuture::get): await the reply
+  // and deserialize it on the caller's clock.
+  om::ObjRef finish_remote(AsyncCallState& st);
+  // Best-effort CancelRequest for an in-flight remote call.  Never
+  // throws: an undeliverable cancel just means the callee computes a
+  // reply the caller will drop as a stray.
+  void send_cancel_raw(std::uint16_t caller, std::uint16_t dest,
+                       std::uint32_t callsite_id, std::uint32_t seq);
+  // Callee side: refuse (or abandon) a remote call with a typed Reject.
+  // Caches the reject as the call's at-most-once tombstone, then sends it
+  // as the reply — except for oneway calls, where nobody is waiting.
+  void reject_remote_call(MachineContext& ctx, const ReplyToken& token,
+                          wire::RejectCode code, const std::string& reason);
+  // The absolute deadline a call starting at `now_ns` carries: explicit
+  // budget or configured default, tightened by the ambient parent
+  // deadline minus slack when invoked from inside a handler.  0 = none.
+  std::int64_t compute_deadline(std::int64_t now_ns,
+                                const CallOptions& opts) const;
+  // "site N (name, level)" — failure messages carry the call-site id and
+  // opt level so chaos failures are attributable without a trace.
+  std::string site_desc(std::uint32_t callsite_id) const;
   ReuseSlot& reuse_slot(MachineContext& ctx, bool ret_side,
                         std::uint32_t callsite_id, std::size_t arity);
   void charge(std::uint16_t machine_id, const serial::SerialStats& pass);
@@ -314,8 +488,12 @@ class RmiSystem {
   // real-time wait is sliced so a blocked caller periodically polls the
   // detector at the cluster makespan and fails over with MachineDown as
   // soon as `dest` is confirmed dead (its burning ARQ advances virtual
-  // time even when the caller's own thread is parked).
-  PendingReply await_pending(MachineContext& ctx, std::uint32_t seq,
+  // time even when the caller's own thread is parked).  A Reject reply is
+  // mapped here to its typed exception (DeadlineExceeded / Overload /
+  // Cancelled); a real-time backstop expiry sends a best-effort cancel
+  // before throwing so the callee can stop computing an unread reply.
+  PendingReply await_pending(MachineContext& ctx, std::uint16_t caller,
+                             std::uint32_t callsite_id, std::uint32_t seq,
                              std::future<PendingReply> fut,
                              std::uint16_t dest);
 

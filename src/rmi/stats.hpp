@@ -51,6 +51,14 @@ struct RmiStatsSnapshot {
   std::uint64_t undeliverable_replies = 0;  // replies lost to a dead link
   std::uint64_t reply_cache_pins = 0;   // evictions skipped: call in flight
 
+  // Overload-robustness counters (all zero under default configuration).
+  std::uint64_t deadline_rejects = 0;  // calls refused: deadline already past
+  std::uint64_t cancels_sent = 0;      // CancelRequests this machine sent
+  std::uint64_t cancels_honored = 0;   // handlers/replies abandoned to cancel
+  std::uint64_t sheds = 0;             // calls refused by admission control
+  std::uint64_t credit_stalls = 0;     // sends delayed by flow-control credit
+  std::uint64_t oneway_calls = 0;      // fire-and-forget invocations sent
+
   RmiStatsSnapshot& operator+=(const RmiStatsSnapshot& o) {
     local_rpcs += o.local_rpcs;
     remote_rpcs += o.remote_rpcs;
@@ -62,6 +70,12 @@ struct RmiStatsSnapshot {
     machine_down_failures += o.machine_down_failures;
     undeliverable_replies += o.undeliverable_replies;
     reply_cache_pins += o.reply_cache_pins;
+    deadline_rejects += o.deadline_rejects;
+    cancels_sent += o.cancels_sent;
+    cancels_honored += o.cancels_honored;
+    sheds += o.sheds;
+    credit_stalls += o.credit_stalls;
+    oneway_calls += o.oneway_calls;
     return *this;
   }
 
@@ -115,6 +129,30 @@ class RmiStats {
   void count_reply_cache_pin() {
     std::scoped_lock lock(mu_);
     ++snap_.reply_cache_pins;
+  }
+  void count_deadline_reject() {
+    std::scoped_lock lock(mu_);
+    ++snap_.deadline_rejects;
+  }
+  void count_cancel_sent() {
+    std::scoped_lock lock(mu_);
+    ++snap_.cancels_sent;
+  }
+  void count_cancel_honored() {
+    std::scoped_lock lock(mu_);
+    ++snap_.cancels_honored;
+  }
+  void count_shed() {
+    std::scoped_lock lock(mu_);
+    ++snap_.sheds;
+  }
+  void count_credit_stall() {
+    std::scoped_lock lock(mu_);
+    ++snap_.credit_stalls;
+  }
+  void count_oneway_call() {
+    std::scoped_lock lock(mu_);
+    ++snap_.oneway_calls;
   }
 
   RmiStatsSnapshot snapshot() const {

@@ -27,6 +27,18 @@ std::string_view to_string(EventKind k) {
       return "reply replayed";
     case EventKind::ReplyCachePinned:
       return "reply-cache pin";
+    case EventKind::DeadlineReject:
+      return "deadline reject";
+    case EventKind::CancelSent:
+      return "cancel sent";
+    case EventKind::CancelHonored:
+      return "cancel honored";
+    case EventKind::OverloadShed:
+      return "overload shed";
+    case EventKind::CreditStall:
+      return "credit stall";
+    case EventKind::OnewaySend:
+      return "oneway send";
     case EventKind::SessionEnqueue:
       return "enqueue";
     case EventKind::FrameEmit:

@@ -54,6 +54,13 @@ enum class EventKind : std::uint8_t {
   DuplicateDropped,  // duplicate of an in-flight call discarded
   ReplyReplayed,     // duplicate answered from the reply cache
   ReplyCachePinned,  // eviction skipped (pinned) an in-flight entry
+  // ---- overload robustness (machine tracks, instant) -----------------------
+  DeadlineReject,  // call refused without running: deadline already past
+  CancelSent,      // caller sent a best-effort CancelRequest
+  CancelHonored,   // callee abandoned a handler/reply to a cancel
+  OverloadShed,    // admission control refused the newest call (caller side)
+  CreditStall,     // send delayed by flow-control credit; dur = stall charged
+  OnewaySend,      // fire-and-forget call sent; no reply will exist
   // ---- session / wire (link tracks) ---------------------------------------
   SessionEnqueue,  // message held back for coalescing (instant)
   FrameEmit,       // frame sealed and handed to the transport (instant)

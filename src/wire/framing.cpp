@@ -12,6 +12,10 @@ std::uint32_t image_checksum(const std::uint8_t* data, std::size_t len) {
   return static_cast<std::uint32_t>(h ^ (h >> 32));
 }
 
+// A deadline is present on the wire only when set, signalled by a flag
+// bit that never reaches MessageHeader::flags (it is an encoding detail).
+constexpr std::uint8_t kWireFlagDeadline = 0x80;
+
 void encode_message(ByteBuffer& out, const Message& msg) {
   out.put_u8(static_cast<std::uint8_t>(msg.header.kind));
   out.put_u32(msg.header.callsite_id);
@@ -19,6 +23,11 @@ void encode_message(ByteBuffer& out, const Message& msg) {
   out.put_u32(msg.header.seq);
   out.put(msg.header.source_machine);
   out.put(msg.header.dest_machine);
+  const bool has_deadline = msg.header.deadline_ns != 0;
+  out.put_u8(msg.header.flags | (has_deadline ? kWireFlagDeadline : 0));
+  if (has_deadline) {
+    out.put_varint(static_cast<std::uint64_t>(msg.header.deadline_ns));
+  }
   const auto payload = msg.payload.contents();
   out.put_varint(payload.size());
   out.put_bytes(payload.data(), payload.size());
@@ -27,7 +36,7 @@ void encode_message(ByteBuffer& out, const Message& msg) {
 Message decode_message(ByteBuffer& in) {
   Message msg;
   const std::uint8_t kind = in.get_u8();
-  RMIOPT_CHECK(kind <= static_cast<std::uint8_t>(MsgKind::Heartbeat),
+  RMIOPT_CHECK(kind <= static_cast<std::uint8_t>(MsgKind::Reject),
                "frame carries unknown message kind");
   msg.header.kind = static_cast<MsgKind>(kind);
   msg.header.callsite_id = in.get_u32();
@@ -35,6 +44,16 @@ Message decode_message(ByteBuffer& in) {
   msg.header.seq = in.get_u32();
   msg.header.source_machine = in.get<std::uint16_t>();
   msg.header.dest_machine = in.get<std::uint16_t>();
+  const std::uint8_t flags = in.get_u8();
+  msg.header.flags = flags & ~kWireFlagDeadline;
+  if ((flags & kWireFlagDeadline) != 0) {
+    const std::uint64_t deadline = in.get_varint();
+    RMIOPT_CHECK(deadline <= static_cast<std::uint64_t>(INT64_MAX),
+                 "malformed frame: deadline out of range");
+    msg.header.deadline_ns = static_cast<std::int64_t>(deadline);
+    RMIOPT_CHECK(msg.header.deadline_ns != 0,
+                 "malformed frame: deadline flag without deadline");
+  }
   const std::uint64_t len = in.get_varint();
   RMIOPT_CHECK(len <= in.remaining(), "truncated frame: payload cut short");
   std::vector<std::uint8_t> payload(len);

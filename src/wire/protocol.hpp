@@ -27,7 +27,24 @@ enum class MsgKind : std::uint8_t {
   Ack,        // response without a value (return elided at the call site)
   Exception,  // response carrying a remote exception message
   Heartbeat,  // liveness probe (failure detector); no payload, no reply
+  Cancel,     // best-effort cancellation of an in-flight Call (same seq)
+  Reject,     // typed refusal: payload = RejectCode u8 + reason string
 };
+
+// Why a callee refused (or abandoned) a call without running its handler.
+// Travels as the first payload byte of a Reject message; the caller maps
+// it back to the matching typed exception (rmi::DeadlineExceeded,
+// rmi::Overload, rmi::Cancelled).
+enum class RejectCode : std::uint8_t {
+  DeadlineExceeded = 1,  // the call's virtual-time deadline had passed
+  Overload = 2,          // admission control shed the call
+  Cancelled = 3,         // the caller cancelled; the reply was abandoned
+};
+
+// Header flag bits (MessageHeader::flags).
+inline constexpr std::uint8_t kFlagOneway = 0x01;  // fire-and-forget Call:
+                                                   // the callee sends no
+                                                   // reply of any kind
 
 // Object-stream tags.  BARE streams use Ref* tags only where cycle
 // detection is on; where the compiler proved acyclicity no tags appear.
@@ -44,7 +61,20 @@ struct MessageHeader {
   std::uint32_t seq = 0;            // request/reply matching
   std::uint16_t source_machine = 0;
   std::uint16_t dest_machine = 0;
+  std::uint8_t flags = 0;           // kFlag* bits
+  // Absolute virtual-time deadline (ns) the caller attached, 0 = none.
+  // The callee refuses to *start* a call whose deadline has passed
+  // (Reject/DeadlineExceeded) instead of computing a reply nobody will
+  // read; nested calls inherit the remaining budget minus a slack.
+  std::int64_t deadline_ns = 0;
 };
+
+// The header bytes the cost model charges per message on the simulated
+// wire.  Frozen at the pre-deadline layout (kind u8 + 3 ids u32 + 2
+// machine u16, padded to 4): the flags byte rides free and a deadline is
+// charged separately, so traffic that carries neither — everything under
+// the default configuration — prices exactly as it always has.
+inline constexpr std::size_t kChargedHeaderBytes = 20;
 
 struct Message {
   MessageHeader header;
@@ -57,9 +87,12 @@ struct Message {
   // session ignores it.
   bool coalesce_hint = false;
 
-  // Total bytes this message occupies on the (simulated) wire.
+  // Total bytes this message occupies on the (simulated) wire.  A call
+  // carrying a deadline pays for the extra header field; default traffic
+  // (deadline_ns == 0) is priced exactly as before deadlines existed.
   std::size_t wire_size() const {
-    return sizeof(MessageHeader) + payload.size();
+    return kChargedHeaderBytes + (header.deadline_ns != 0 ? 8 : 0) +
+           payload.size();
   }
 };
 

@@ -116,8 +116,8 @@ TEST(Cluster, LargeMessagesPayPerFragmentOverhead) {
       small->arrival.as_nanos() - 1000;  // minus sender overhead charge
   const auto large_net = large->arrival.as_nanos() - 2000;
   // Beyond the linear byte cost, the large message pays fragment overheads.
-  const std::size_t small_bytes = 100 + sizeof(wire::MessageHeader);
-  const std::size_t large_bytes = 5000 + sizeof(wire::MessageHeader);
+  const std::size_t small_bytes = 100 + wire::kChargedHeaderBytes;
+  const std::size_t large_bytes = 5000 + wire::kChargedHeaderBytes;
   const auto expected_delta =
       static_cast<std::int64_t>(2.0 * (large_bytes - small_bytes)) +
       static_cast<std::int64_t>(large_bytes / 1024) * 700;
@@ -199,7 +199,7 @@ TEST(Cluster, NetworkStatsCountTraffic) {
   cluster.send(make_msg(1, 2, 20));
   const NetworkStats::Snapshot s = cluster.stats();
   EXPECT_EQ(s.messages, 2u);
-  EXPECT_EQ(s.bytes, 2 * sizeof(wire::MessageHeader) + 30);
+  EXPECT_EQ(s.bytes, 2 * wire::kChargedHeaderBytes + 30);
   // Without coalescing every message travels in its own frame.
   EXPECT_EQ(s.frames, 2u);
   EXPECT_EQ(s.coalesced, 0u);

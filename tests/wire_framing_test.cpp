@@ -77,11 +77,59 @@ TEST(Framing, ChargedBytesAreTheSimulatedSizesNotTheImageSize) {
   Frame frame;
   frame.messages.push_back(make_msg(MsgKind::Ack, 0, 1, 10));
   frame.messages.push_back(make_msg(MsgKind::Ack, 0, 1, 20));
-  EXPECT_EQ(frame.charged_bytes(), 2 * sizeof(MessageHeader) + 30);
+  // The charged header size is frozen at kChargedHeaderBytes — NOT
+  // sizeof(MessageHeader), which grew when the flags/deadline fields were
+  // added; default traffic must price exactly as it always has.
+  EXPECT_EQ(frame.charged_bytes(), 2 * kChargedHeaderBytes + 30);
   // The physical image uses explicit field-by-field encoding and varint
   // lengths — the cost model must never be driven by its size.
   const ByteBuffer image = encode_frame(frame);
   EXPECT_NE(image.size(), frame.charged_bytes());
+}
+
+TEST(Framing, DeadlineIsChargedOnlyWhenPresent) {
+  Message plain = make_msg(MsgKind::Call, 0, 1, 10);
+  Message dated = make_msg(MsgKind::Call, 0, 1, 10);
+  dated.header.deadline_ns = 123'456'789;
+  EXPECT_EQ(plain.wire_size(), kChargedHeaderBytes + 10);
+  EXPECT_EQ(dated.wire_size(), kChargedHeaderBytes + 8 + 10);
+}
+
+TEST(Framing, FlagsAndDeadlineRoundTrip) {
+  Frame frame;
+  frame.link_seq = 3;
+  Message m = make_msg(MsgKind::Call, 0, 1, 12, 44);
+  m.header.flags = kFlagOneway;
+  m.header.deadline_ns = 987'654'321'000;
+  frame.messages.push_back(m);
+  Message bare = make_msg(MsgKind::Cancel, 0, 1, 0, 45);
+  frame.messages.push_back(bare);
+
+  ByteBuffer image = encode_frame(frame);
+  const Frame back = decode_frame(image);
+  ASSERT_EQ(back.messages.size(), 2u);
+  expect_equal(back.messages[0], m);
+  EXPECT_EQ(back.messages[0].header.flags, kFlagOneway);
+  EXPECT_EQ(back.messages[0].header.deadline_ns, 987'654'321'000);
+  expect_equal(back.messages[1], bare);
+  EXPECT_EQ(back.messages[1].header.flags, 0);
+  EXPECT_EQ(back.messages[1].header.deadline_ns, 0);
+}
+
+TEST(Framing, RejectMessageRoundTripsItsCodeAndReason) {
+  Frame frame;
+  Message rej = make_msg(MsgKind::Reject, 1, 0, 0, 7);
+  rej.payload.put_u8(static_cast<std::uint8_t>(RejectCode::Overload));
+  rej.payload.put_string("inbox at its bound");
+  frame.messages.push_back(rej);
+
+  ByteBuffer image = encode_frame(frame);
+  Frame back = decode_frame(image);
+  ASSERT_EQ(back.messages.size(), 1u);
+  EXPECT_EQ(back.messages[0].header.kind, MsgKind::Reject);
+  EXPECT_EQ(static_cast<RejectCode>(back.messages[0].payload.get_u8()),
+            RejectCode::Overload);
+  EXPECT_EQ(back.messages[0].payload.get_string(), "inbox at its bound");
 }
 
 TEST(Framing, EveryTruncationOfAValidImageIsRejected) {
