@@ -18,6 +18,7 @@ RunResult run_list_bench(codegen::OptLevel level, const ListBenchConfig& cfg) {
   net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport,
                        {}, cfg.faults, cfg.detector);
   if (cfg.recorder != nullptr) cluster.set_recorder(cfg.recorder);
+  if (cfg.frame_probe) cluster.transport().set_frame_probe(cfg.frame_probe);
   rmi::RmiSystem sys(cluster, *model.types,
                      rmi::ExecutorConfig{cfg.dispatch_workers});
 
@@ -72,6 +73,7 @@ RunResult run_array_bench(codegen::OptLevel level,
   net::Cluster cluster(cfg.machines, *model.types, cfg.cost, cfg.transport,
                        {}, cfg.faults, cfg.detector);
   if (cfg.recorder != nullptr) cluster.set_recorder(cfg.recorder);
+  if (cfg.frame_probe) cluster.transport().set_frame_probe(cfg.frame_probe);
   rmi::RmiSystem sys(cluster, *model.types,
                      rmi::ExecutorConfig{cfg.dispatch_workers});
 

@@ -35,6 +35,10 @@ struct ListBenchConfig {
   net::FailureDetectorConfig detector{};  // heartbeat failure detection (inert by default)
   // Optional trace recorder (nullptr = tracing off, zero overhead).
   trace::Recorder* recorder = nullptr;
+  // Optional frame probe installed on the cluster's transport: sees every
+  // frame at the NIC boundary (bench/ablation_zero_copy digests frame
+  // images with it to prove Sim/Loopback/gather-on/gather-off equality).
+  net::Transport::FrameProbe frame_probe = nullptr;
   // Optional shared IR model (nullptr = build a fresh one per run).  Must
   // outlive any PassManager that compiled it (see driver/pass_manager.hpp).
   figures::FigureProgram* model = nullptr;
@@ -63,6 +67,9 @@ struct ArrayBenchConfig {
   net::FailureDetectorConfig detector{};  // heartbeat failure detection (inert by default)
   // Optional trace recorder (nullptr = tracing off, zero overhead).
   trace::Recorder* recorder = nullptr;
+  // Optional frame probe installed on the cluster's transport (see
+  // ListBenchConfig::frame_probe).
+  net::Transport::FrameProbe frame_probe = nullptr;
   // Optional shared IR model (nullptr = build a fresh one per run).  Must
   // outlive any PassManager that compiled it (see driver/pass_manager.hpp).
   figures::FigureProgram* model = nullptr;

@@ -104,6 +104,14 @@ void Cluster::flush() {
   }
 }
 
+std::size_t Cluster::queued_messages() const {
+  std::size_t n = 0;
+  for (const auto& s : sessions_) {
+    if (s != nullptr) n += s->queued();
+  }
+  return n;
+}
+
 void Cluster::shutdown() {
   flush();
   for (auto& m : machines_) m->close();

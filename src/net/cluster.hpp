@@ -61,6 +61,11 @@ class Cluster {
   // Forces every session's held-back messages out.
   void flush();
 
+  // Messages currently held back in session coalescing queues, summed over
+  // every directed link.  Zero after a flush; the runtime's stop() asserts
+  // nothing is left stranded at shutdown.
+  std::size_t queued_messages() const;
+
   // Flushes, then closes every machine's inbox (dispatchers drain and
   // stop).
   void shutdown();

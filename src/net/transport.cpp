@@ -21,6 +21,11 @@ SimTime Transport::charge_and_schedule(Machine& sender,
          SimTime::nanos(extra_fragments * cost_.fragment_overhead_ns);
 }
 
+void Transport::probe_frame(const Machine& sender, const Machine& receiver,
+                            const wire::Frame& frame) {
+  if (frame_probe_) frame_probe_(sender.id(), receiver.id(), frame);
+}
+
 void Transport::trace_flight(Machine& sender, const Machine& receiver,
                              const wire::Frame& frame,
                              std::size_t charged_bytes, SimTime arrival) {
@@ -56,10 +61,14 @@ wire::SendOutcome SimTransport::submit(Machine& sender, Machine& receiver,
                                        const wire::Frame& frame) {
   const std::size_t charged = frame.charged_bytes();
   record(frame.messages.size(), charged);
+  stats_.record_gathered(gathered_count(frame));
   const SimTime arrival = charge_and_schedule(sender, charged);
   trace_flight(sender, receiver, frame, charged, arrival);
+  probe_frame(sender, receiver, frame);
 
-  // Physical transmission: only the byte image crosses the "wire".
+  // Physical transmission: only the byte image crosses the "wire".  For
+  // gathered payloads encode_frame walks the segment list — this is where
+  // the NIC concatenates the iovec.
   ByteBuffer image = wire::encode_frame(frame);
   wire::Frame received;
   try {
@@ -90,8 +99,10 @@ wire::SendOutcome LoopbackTransport::submit(Machine& sender,
                                             const wire::Frame& frame) {
   const std::size_t charged = frame.charged_bytes();
   record(frame.messages.size(), charged);
+  stats_.record_gathered(gathered_count(frame));
   const SimTime arrival = charge_and_schedule(sender, charged);
   trace_flight(sender, receiver, frame, charged, arrival);
+  probe_frame(sender, receiver, frame);
   if (receiver.accept_link_seq(sender.id(), frame.link_seq) !=
       wire::DedupWindow::Verdict::Fresh) {
     stats_.record_dedup_hit();
@@ -100,9 +111,14 @@ wire::SendOutcome LoopbackTransport::submit(Machine& sender,
   for (const wire::Message& msg : frame.messages) {
     wire::Message copy;
     copy.header = msg.header;
-    copy.payload = ByteBuffer(
-        std::vector<std::uint8_t>(msg.payload.contents().begin(),
-                                  msg.payload.contents().end()));
+    // Gathered payloads pass through as segments all the way to delivery;
+    // the receive side only ever sees contiguous bytes, so concatenate
+    // here, at this backend's NIC boundary.
+    copy.payload = msg.gathered
+                       ? ByteBuffer(msg.gathered->gather())
+                       : ByteBuffer(std::vector<std::uint8_t>(
+                             msg.payload.contents().begin(),
+                             msg.payload.contents().end()));
     receiver.deliver(std::move(copy), arrival);
   }
   return wire::SendOutcome::Delivered;

@@ -31,6 +31,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -57,6 +58,7 @@ class NetworkStats {
     std::uint64_t bytes = 0;      // charged wire bytes (header + payload)
     std::uint64_t frames = 0;     // physical frames transmitted
     std::uint64_t coalesced = 0;  // messages that shared a frame with others
+    std::uint64_t gathered_messages = 0;  // messages sent scatter-gather
 
     // Fault/reliability counters — all zero on a healthy network.
     std::uint64_t dropped = 0;      // frames lost in transit
@@ -85,6 +87,7 @@ class NetworkStats {
       bytes += o.bytes;
       frames += o.frames;
       coalesced += o.coalesced;
+      gathered_messages += o.gathered_messages;
       dropped += o.dropped;
       duplicated += o.duplicated;
       reordered += o.reordered;
@@ -119,6 +122,12 @@ class NetworkStats {
     }
   }
 
+  void record_gathered(std::size_t message_count) {
+    if (message_count > 0) {
+      gathered_messages_.fetch_add(message_count, std::memory_order_relaxed);
+    }
+  }
+
   void record_dropped() { dropped_.fetch_add(1, std::memory_order_relaxed); }
   void record_duplicated() {
     duplicated_.fetch_add(1, std::memory_order_relaxed);
@@ -143,6 +152,7 @@ class NetworkStats {
     s.bytes = bytes_.load(std::memory_order_relaxed);
     s.frames = frames_.load(std::memory_order_relaxed);
     s.coalesced = coalesced_.load(std::memory_order_relaxed);
+    s.gathered_messages = gathered_messages_.load(std::memory_order_relaxed);
     s.dropped = dropped_.load(std::memory_order_relaxed);
     s.duplicated = duplicated_.load(std::memory_order_relaxed);
     s.reordered = reordered_.load(std::memory_order_relaxed);
@@ -158,6 +168,7 @@ class NetworkStats {
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> frames_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> gathered_messages_{0};
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> duplicated_{0};
   std::atomic<std::uint64_t> reordered_{0};
@@ -209,6 +220,16 @@ class Transport {
     recorder_ = recorder;
   }
 
+  // Observes every frame a healthy backend is about to carry (called once
+  // per submit, before delivery, from the sending thread).  Benches use it
+  // to digest the physical frame image and prove backend equivalence; it
+  // plays no part in delivery or cost.  nullptr detaches.
+  using FrameProbe = std::function<void(std::uint16_t src, std::uint16_t dst,
+                                        const wire::Frame& frame)>;
+  virtual void set_frame_probe(FrameProbe probe) {
+    frame_probe_ = std::move(probe);
+  }
+
  protected:
   // Shared GM arithmetic: charges the sender the send-descriptor cost and
   // returns the frame's arrival time at the receiver's NIC (one-way
@@ -218,6 +239,16 @@ class Transport {
 
   void record(std::size_t message_count, std::size_t charged_bytes) {
     stats_.record_frame(message_count, charged_bytes);
+  }
+
+  void probe_frame(const Machine& sender, const Machine& receiver,
+                   const wire::Frame& frame);
+
+  // Messages in `frame` carrying a scatter-gather payload.
+  static std::size_t gathered_count(const wire::Frame& frame) {
+    std::size_t n = 0;
+    for (const wire::Message& m : frame.messages) n += m.gathered != nullptr;
+    return n;
   }
 
   // Flight span on the src->dst link track: from the moment the sender
@@ -234,6 +265,7 @@ class Transport {
   const serial::CostModel& cost_;
   NetworkStats stats_;
   trace::Recorder* recorder_ = nullptr;
+  FrameProbe frame_probe_;
 };
 
 // Byte-framed network model: encode -> transmit -> decode -> dedup.
@@ -271,6 +303,13 @@ class FaultyTransport final : public Transport {
   void set_recorder(trace::Recorder* recorder) override {
     Transport::set_recorder(recorder);
     inner_->set_recorder(recorder);
+  }
+
+  // The probe belongs on the inner backend: it should see what is actually
+  // carried (retries, duplicates, late copies), not what the fault plan
+  // swallowed.
+  void set_frame_probe(FrameProbe probe) override {
+    inner_->set_frame_probe(std::move(probe));
   }
 
   // Own fault counters plus the wrapped backend's traffic counters.

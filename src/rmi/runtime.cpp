@@ -157,6 +157,12 @@ void RmiSystem::stop() {
   }
   // Dispatchers are gone; let the pools finish whatever they queued.
   for (auto& ctx : contexts_) ctx->executor->drain_and_stop();
+  // Handlers that finished during the executor drain may have posted
+  // replies/ACKs *after* the shutdown flush above; under a batching
+  // session config those sit coalesced in a session queue and would be
+  // silently dropped.  Drain every session again now that no handler can
+  // produce more traffic.
+  cluster_.flush();
   // Callee-side reuse caches are runtime-owned (§3.3): release them now
   // that nothing can dispatch into them.  Return-value caches are not —
   // their top graph is the value the caller last received and may still
@@ -665,8 +671,20 @@ RmiFuture RmiSystem::invoke_async(std::uint16_t caller, RemoteRef target,
   msg.header.dest_machine = target.machine;
   msg.header.deadline_ns = deadline;
 
-  msg.payload.put_varint(scalars.size());
-  for (const std::int64_t s : scalars) msg.payload.put_i64(s);
+  // Scatter-gather send (CostModel::zero_copy_send): serialize into a
+  // gather list so inline primitive-array rows ride as borrowed segments.
+  // The HEAVY protocol keeps the contiguous path — it is the baseline the
+  // ablations compare against.
+  const serial::CostModel& cmodel = cluster_.cost();
+  if (cmodel.zero_copy_send && !site.heavy) {
+    msg.gathered = std::make_shared<support::GatherBuffer>(
+        cmodel.gather_min_borrow_bytes, cmodel.gather_pin_copy_threshold);
+    msg.gathered->put_varint(scalars.size());
+    for (const std::int64_t s : scalars) msg.gathered->put_i64(s);
+  } else {
+    msg.payload.put_varint(scalars.size());
+    for (const std::int64_t s : scalars) msg.payload.put_i64(s);
+  }
 
   // Per-call marshaler machinery: generic stub vs generated code (§3.1).
   charge_stub(caller, site, args.size(), scalars.size());
@@ -680,12 +698,18 @@ RmiFuture RmiSystem::invoke_async(std::uint16_t caller, RemoteRef target,
     for (std::size_t i = 0; i < args.size(); ++i) {
       if (site.heavy) {
         w.write_introspective(msg.payload, args[i]);
+      } else if (msg.gathered) {
+        w.write(*msg.gathered, *plan.args[i], args[i]);
       } else {
         w.write(msg.payload, *plan.args[i], args[i]);
       }
     }
   }
-  st->request_bytes = msg.payload.size();
+  // Pin/fold borrowed spans *before* the caller can touch its argument
+  // graphs again: from here on the payload image is frozen, so ARQ
+  // retransmits and fault-plan copies stay byte-identical.
+  msg.seal_gathered();
+  st->request_bytes = msg.payload_size();
   charge(caller, pass);
   cctx.stats.add_pass(pass);
   add_site_pass(callsite_id, pass, 0, 1);
@@ -732,6 +756,32 @@ om::ObjRef RmiSystem::finish_remote(AsyncCallState& st) {
   const serial::CallSitePlan& plan = *site.plan;
   MachineContext& cctx = *contexts_.at(caller);
   net::Machine& m = cluster_.machine(caller);
+
+  // Nested-invoke deadlock guard: with a single dispatch worker, a handler
+  // that performs a synchronous remote invoke from the dispatcher thread
+  // waits for a reply only that same thread could process.  Before this
+  // check the call hung until the retransmit budget drained (or forever on
+  // a fault-free link).  Fail fast with a typed, recoverable error instead
+  // — unless the reply is somehow already in hand.
+  if (exec_cfg_.dispatch_workers == 1 &&
+      std::this_thread::get_id() == cctx.dispatcher.get_id() &&
+      st.fut.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+    {
+      std::scoped_lock lock(cctx.pending_mu);
+      cctx.pending.erase(seq);
+    }
+    cctx.stats.count_call_timeout();
+    trace_instant(trace::EventKind::CallTimeout, caller, callsite_id, seq);
+    // Best-effort: tell the callee not to bother computing the reply.
+    send_cancel_raw(caller, st.target.machine, callsite_id, seq);
+    throw NestedInvokeDeadlock(
+        "nested synchronous invoke via " + site_desc(callsite_id) +
+        " from the dispatcher thread of machine " + std::to_string(caller) +
+        " would deadlock: dispatch_workers == 1, so the reply could only be "
+        "processed by the thread that is blocked waiting for it. Configure "
+        "dispatch_workers >= 2 on the calling machine, or use invoke_oneway "
+        "/ invoke_async with the future consumed off the dispatcher thread.");
+  }
 
   PendingReply rep;
   try {
@@ -905,8 +955,18 @@ void RmiSystem::invoke_oneway(std::uint16_t caller, RemoteRef target,
   msg.header.flags = wire::kFlagOneway;
   msg.header.deadline_ns = deadline;
 
-  msg.payload.put_varint(scalars.size());
-  for (const std::int64_t s : scalars) msg.payload.put_i64(s);
+  // Same gathered-send gate as invoke_async: oneway bodies borrow inline
+  // primitive-array rows when the knob is on.
+  const serial::CostModel& cmodel = cluster_.cost();
+  if (cmodel.zero_copy_send && !site.heavy) {
+    msg.gathered = std::make_shared<support::GatherBuffer>(
+        cmodel.gather_min_borrow_bytes, cmodel.gather_pin_copy_threshold);
+    msg.gathered->put_varint(scalars.size());
+    for (const std::int64_t s : scalars) msg.gathered->put_i64(s);
+  } else {
+    msg.payload.put_varint(scalars.size());
+    for (const std::int64_t s : scalars) msg.payload.put_i64(s);
+  }
   charge_stub(caller, site, args.size(), scalars.size());
 
   const bool cycle_enabled = site.heavy || plan.needs_cycle_table;
@@ -918,11 +978,14 @@ void RmiSystem::invoke_oneway(std::uint16_t caller, RemoteRef target,
     for (std::size_t i = 0; i < args.size(); ++i) {
       if (site.heavy) {
         w.write_introspective(msg.payload, args[i]);
+      } else if (msg.gathered) {
+        w.write(*msg.gathered, *plan.args[i], args[i]);
       } else {
         w.write(msg.payload, *plan.args[i], args[i]);
       }
     }
   }
+  msg.seal_gathered();
   charge(caller, pass);
   cctx.stats.add_pass(pass);
   add_site_pass(callsite_id, pass, 0, 1);
@@ -1095,6 +1158,11 @@ void RmiSystem::send_reply(const ReplyToken& token, om::ObjRef value,
 
   serial::SerialStats pass;
   if (has_ret) {
+    const serial::CostModel& cmodel = cluster_.cost();
+    if (cmodel.zero_copy_send && !site.heavy) {
+      reply.gathered = std::make_shared<support::GatherBuffer>(
+          cmodel.gather_min_borrow_bytes, cmodel.gather_pin_copy_threshold);
+    }
     const bool cycle_enabled = site.heavy || plan.needs_cycle_table;
     serial::SerialWriter w(class_plans_, pass, cycle_enabled,
                            pass_trace(trace::EventKind::Serialize,
@@ -1102,10 +1170,17 @@ void RmiSystem::send_reply(const ReplyToken& token, om::ObjRef value,
                                       token.callsite_id, token.seq));
     if (site.heavy) {
       w.write_introspective(reply.payload, value);
+    } else if (reply.gathered) {
+      w.write(*reply.gathered, *plan.ret, value);
     } else {
       w.write(reply.payload, *plan.ret, value);
     }
   }
+  // Seal before the give_ownership free below and before the reply cache
+  // takes its copy: borrowed spans may alias `value`'s payload rows, and
+  // from here the frame image must be frozen (replayed duplicates and ARQ
+  // retransmits must match the first transmission byte for byte).
+  reply.seal_gathered();
   if (give_ownership && value != nullptr) {
     const om::GraphExtent ext = om::graph_extent(value);
     callee.heap().free_graph(value);

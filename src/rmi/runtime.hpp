@@ -131,6 +131,21 @@ class Cancelled : public Error {
   explicit Cancelled(const std::string& what) : Error(what) {}
 };
 
+// A handler running inline on its machine's only dispatcher thread
+// (ExecutorConfig::dispatch_workers == 1, the paper's model) blocked on a
+// nested synchronous remote invoke.  The reply can only be dispatched by
+// the very thread that is blocked waiting for it, so without this check
+// the call would hang until the 30 s real-time backstop.  Recoverable:
+// the nested call is failed *before* the wait, the handler can catch it
+// (or surface it to its own caller as a RemoteException), and the system
+// keeps running.  The sizing rule: nested synchronous RMI requires
+// dispatch_workers >= 2 on the calling machine — or use invoke_oneway /
+// invoke_async with the future consumed off the dispatcher thread.
+class NestedInvokeDeadlock : public Error {
+ public:
+  explicit NestedInvokeDeadlock(const std::string& what) : Error(what) {}
+};
+
 // Per-invocation options for invoke / invoke_async / invoke_oneway.
 struct CallOptions {
   // Explicit virtual-time budget for this call, in nanoseconds; the call

@@ -23,6 +23,7 @@
 // the paper's relative cost structure.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "support/sim_time.hpp"
@@ -84,6 +85,25 @@ struct CostModel {
   // scheme for increased performance".
   bool zero_copy_receive = false;
   double zero_copy_preprocess_ns_per_kb = 80.0;
+
+  // ---- zero-copy scatter-gather send --------------------------------------
+  // When enabled, call sites with BARE plans serialize into a
+  // support::GatherBuffer: inline primitive-array rows become borrowed
+  // iovec segments the NIC concatenates, instead of being memcpy'd into a
+  // contiguous image.  A borrowed row is charged per *segment* (descriptor
+  // setup in the gather list) rather than per byte; everything else — wire
+  // bytes, headers, latency — is priced exactly as before, and with the
+  // knob off (default) no gather buffer ever exists, so the deterministic
+  // tables are untouched bit for bit.
+  bool zero_copy_send = false;
+  // Spans shorter than this are copied inline: an iovec entry costs more
+  // than the memcpy it would save.
+  std::size_t gather_min_borrow_bytes = 64;
+  // Seal-time policy: borrowed spans below this are folded into owned
+  // bytes (copy-on-seal); larger ones are pinned by refcounted snapshot.
+  std::size_t gather_pin_copy_threshold = 256;
+  // Per borrowed segment: gather-list entry + NIC SG descriptor setup.
+  std::int64_t gather_segment_ns = 120;
 
   // ---- network costs (GM over Myrinet) ------------------------------------
   std::int64_t send_overhead_ns = 2'000;   // GM send descriptor + doorbell

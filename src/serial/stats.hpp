@@ -18,6 +18,8 @@ struct SerialStats {
   std::uint64_t introspected_fields = 0;     // reflective walks (HEAVY only)
   std::uint64_t bytes_copied = 0;            // bulk payload bytes (send)
   std::uint64_t bytes_copied_rx = 0;         // bulk payload bytes (receive)
+  std::uint64_t gather_segments = 0;         // borrowed iovec segments (send)
+  std::uint64_t gather_bytes_borrowed = 0;   //   ... their payload volume
   std::uint64_t cycle_lookups = 0;           // cycle-table probes
   std::uint64_t cycle_tables_created = 0;
   std::uint64_t type_info_bytes = 0;         // wire bytes spent on types
@@ -33,6 +35,8 @@ struct SerialStats {
     introspected_fields += o.introspected_fields;
     bytes_copied += o.bytes_copied;
     bytes_copied_rx += o.bytes_copied_rx;
+    gather_segments += o.gather_segments;
+    gather_bytes_borrowed += o.gather_bytes_borrowed;
     cycle_lookups += o.cycle_lookups;
     cycle_tables_created += o.cycle_tables_created;
     type_info_bytes += o.type_info_bytes;
@@ -62,6 +66,12 @@ struct SerialStats {
           (m.alloc_ns + m.gc_amortized_ns);
     ns += static_cast<std::int64_t>(objects_freed) * m.free_ns;
     SimTime t = SimTime::nanos(ns) + m.for_bytes_copied(bytes_copied);
+    // Scatter-gather send: a borrowed row pays for its gather-list entry,
+    // not for a byte copy.  The counters are only ever non-zero when
+    // CostModel::zero_copy_send routed serialization into a GatherBuffer,
+    // so default-configuration charging is untouched.
+    ns = static_cast<std::int64_t>(gather_segments) * m.gather_segment_ns;
+    t += SimTime::nanos(ns);
     if (m.zero_copy_receive) {
       // Kono/Masuda-style dynamic specialization ([10], §6): received
       // primitive payloads are used directly from the network buffer

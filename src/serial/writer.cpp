@@ -1,5 +1,7 @@
 #include "serial/writer.hpp"
 
+#include <type_traits>
+
 #include "wire/protocol.hpp"
 
 namespace rmiopt::serial {
@@ -33,8 +35,9 @@ SerialWriter::~SerialWriter() {
   pt_.recorder->record(e);
 }
 
-bool SerialWriter::write_prologue(ByteBuffer& out, bool cycle_check,
-                                  om::ObjRef obj) {
+template <typename Out>
+bool SerialWriter::write_prologue_any(Out& out, bool cycle_check,
+                                      om::ObjRef obj) {
   if (obj == nullptr) {
     out.put_u8(wire::kTagNull);
     return true;
@@ -57,14 +60,14 @@ bool SerialWriter::write_prologue(ByteBuffer& out, bool cycle_check,
   return false;
 }
 
-void SerialWriter::write(ByteBuffer& out, const NodePlan& plan,
-                         om::ObjRef obj) {
+template <typename Out>
+void SerialWriter::write_any(Out& out, const NodePlan& plan, om::ObjRef obj) {
   if (plan.recurse_to != nullptr) {
     // Monomorphic recursion: loop back into the ancestor's inlined body.
-    write(out, *plan.recurse_to, obj);
+    write_any(out, *plan.recurse_to, obj);
     return;
   }
-  if (write_prologue(out, plan.cycle_check, obj)) return;
+  if (write_prologue_any(out, plan.cycle_check, obj)) return;
 
   if (plan.dynamic_dispatch) {
     // Explicit invocation of the runtime class's generated serializer —
@@ -74,7 +77,8 @@ void SerialWriter::write(ByteBuffer& out, const NodePlan& plan,
     const std::size_t before = out.size();
     out.put_varint(runtime_class);
     stats_.type_info_bytes += out.size() - before;
-    write_body(out, class_plans_.plan_for(runtime_class), obj);
+    write_body_any(out, class_plans_.plan_for(runtime_class), obj,
+                   /*inline_node=*/false);
     return;
   }
 
@@ -88,11 +92,12 @@ void SerialWriter::write(ByteBuffer& out, const NodePlan& plan,
     out.put_varint(plan.expected_class);
     stats_.type_info_bytes += out.size() - before;
   }
-  write_body(out, plan, obj);
+  write_body_any(out, plan, obj, /*inline_node=*/true);
 }
 
-void SerialWriter::write_body(ByteBuffer& out, const NodePlan& body,
-                              om::ObjRef obj) {
+template <typename Out>
+void SerialWriter::write_body_any(Out& out, const NodePlan& body,
+                                  om::ObjRef obj, bool inline_node) {
   const om::ClassDescriptor& cls = obj->cls();
   if (cls.is_array) {
     out.put_varint(obj->length());
@@ -101,11 +106,30 @@ void SerialWriter::write_body(ByteBuffer& out, const NodePlan& body,
           body.elem_plan ? body.elem_plan.get() : nullptr;
       RMIOPT_CHECK(elem != nullptr, "ref array plan lacks element plan");
       for (std::uint32_t i = 0; i < obj->length(); ++i) {
-        write(out, *elem, obj->get_elem_ref(i));
+        write_any(out, *elem, obj->get_elem_ref(i));
       }
     } else {
-      out.put_bytes(obj->payload(), obj->payload_size());
-      stats_.bytes_copied += obj->payload_size();
+      const std::size_t n = obj->payload_size();
+      bool borrowed = false;
+      if constexpr (std::is_same_v<Out, support::GatherBuffer>) {
+        // Only rows the compiler proved monomorphic (inline nodes) are
+        // handed to the NIC as borrowed segments; dynamic-dispatch
+        // fallback rows keep the copy so the gathered image never depends
+        // on a type only the runtime discovered.
+        if (inline_node) borrowed = out.borrow(obj->payload(), n);
+      }
+      if (borrowed) {
+        ++stats_.gather_segments;
+        stats_.gather_bytes_borrowed += n;
+      } else {
+        if constexpr (!std::is_same_v<Out, support::GatherBuffer>) {
+          out.put_bytes(obj->payload(), n);
+        } else if (!inline_node) {
+          out.put_bytes(obj->payload(), n);
+        }
+        // (an inline borrow() that declined already copied the bytes)
+        stats_.bytes_copied += n;
+      }
     }
     return;
   }
@@ -113,12 +137,22 @@ void SerialWriter::write_body(ByteBuffer& out, const NodePlan& body,
     const om::FieldDescriptor& f = *fa.field;
     if (f.kind == om::TypeKind::Ref) {
       RMIOPT_CHECK(fa.ref_plan != nullptr, "ref field plan missing");
-      write(out, *fa.ref_plan, obj->get_ref(f));
+      write_any(out, *fa.ref_plan, obj->get_ref(f));
     } else {
       out.put_bytes(obj->payload() + f.offset, size_of(f.kind));
       ++stats_.fields_marshaled;
     }
   }
+}
+
+void SerialWriter::write(ByteBuffer& out, const NodePlan& plan,
+                         om::ObjRef obj) {
+  write_any(out, plan, obj);
+}
+
+void SerialWriter::write(support::GatherBuffer& out, const NodePlan& plan,
+                         om::ObjRef obj) {
+  write_any(out, plan, obj);
 }
 
 void SerialWriter::write_introspective(ByteBuffer& out, om::ObjRef obj) {

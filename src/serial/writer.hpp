@@ -15,6 +15,7 @@
 #include "serial/plan.hpp"
 #include "serial/stats.hpp"
 #include "support/bytebuffer.hpp"
+#include "support/gather_buffer.hpp"
 #include "trace/trace.hpp"
 
 namespace rmiopt::serial {
@@ -35,14 +36,30 @@ class SerialWriter {
   // Serializes `obj` according to `plan` (call-site or class mode).
   void write(ByteBuffer& out, const NodePlan& plan, om::ObjRef obj);
 
+  // Scatter-gather variant: identical byte image, but inline
+  // primitive-array payloads become borrowed segments of `out` instead of
+  // being copied (counted as gather_segments/gather_bytes_borrowed rather
+  // than bytes_copied).  Dynamic-dispatch fallback nodes still copy — only
+  // rows the compiler proved monomorphic are safe to hand to the NIC.
+  void write(support::GatherBuffer& out, const NodePlan& plan,
+             om::ObjRef obj);
+
   // Serializes `obj` with full runtime introspection and class names on the
   // wire (the Sun-RMI-like HEAVY protocol; always cycle-checks).
   void write_introspective(ByteBuffer& out, om::ObjRef obj);
 
  private:
-  void write_body(ByteBuffer& out, const NodePlan& body, om::ObjRef obj);
+  // The writing logic is one template over the output sink; the
+  // GatherBuffer instantiation may borrow at inline primitive-array
+  // nodes, the ByteBuffer instantiation always copies.
+  template <typename Out>
+  void write_any(Out& out, const NodePlan& plan, om::ObjRef obj);
+  template <typename Out>
+  void write_body_any(Out& out, const NodePlan& body, om::ObjRef obj,
+                      bool inline_node);
   // Returns true if a tag terminated the node (null or back-reference).
-  bool write_prologue(ByteBuffer& out, bool cycle_check, om::ObjRef obj);
+  template <typename Out>
+  bool write_prologue_any(Out& out, bool cycle_check, om::ObjRef obj);
 
   const ClassPlanRegistry& class_plans_;
   const om::TypeRegistry& types_;

@@ -84,16 +84,31 @@ class ByteBuffer {
   std::int64_t get_i64() { return get<std::int64_t>(); }
   double get_f64() { return get<double>(); }
 
+  // Strict LEB128 decode.  Rejects (as DecodeError, so receivers fail
+  // closed on wire damage rather than aborting):
+  //  * truncation — the continuation bit promises a byte that isn't there;
+  //  * overflow — an 11th byte, or set bits above 2^64 in the 10th byte
+  //    (shift 63 leaves room for exactly one more bit; anything higher
+  //    would be silently truncated by the shift);
+  //  * overlong encodings — a trailing 0x00 continuation byte encodes the
+  //    same value in more bytes than put_varint emits; accepting them
+  //    would let one value have many wire images.
   std::uint64_t get_varint() {
     std::uint64_t v = 0;
     int shift = 0;
     while (true) {
-      RMIOPT_CHECK(read_pos_ < bytes_.size(), "varint underflow");
+      if (read_pos_ >= bytes_.size()) throw DecodeError("varint underflow");
       const std::uint8_t b = bytes_[read_pos_++];
+      if (shift == 63 && (b & 0x7e) != 0)
+        throw DecodeError("varint overflow: set bits above 2^64");
       v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-      if (!(b & 0x80)) break;
+      if (!(b & 0x80)) {
+        if (b == 0 && shift != 0) throw DecodeError("overlong varint");
+        break;
+      }
       shift += 7;
-      RMIOPT_CHECK(shift < 64, "varint overflow");
+      if (shift >= 64)
+        throw DecodeError("varint overflow: more than 10 bytes");
     }
     return v;
   }

@@ -28,6 +28,15 @@ void encode_message(ByteBuffer& out, const Message& msg) {
   if (has_deadline) {
     out.put_varint(static_cast<std::uint64_t>(msg.header.deadline_ns));
   }
+  if (msg.gathered) {
+    // Gathered payload: frame the segment list in order.  This *is* the
+    // NIC-boundary concatenation — by construction the image is identical
+    // to what the contiguous path would have produced.
+    out.put_varint(msg.gathered->size());
+    msg.gathered->for_each_segment(
+        [&](const std::uint8_t* d, std::size_t n) { out.put_bytes(d, n); });
+    return;
+  }
   const auto payload = msg.payload.contents();
   out.put_varint(payload.size());
   out.put_bytes(payload.data(), payload.size());

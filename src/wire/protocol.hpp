@@ -16,8 +16,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "support/bytebuffer.hpp"
+#include "support/gather_buffer.hpp"
 
 namespace rmiopt::wire {
 
@@ -80,6 +82,15 @@ struct Message {
   MessageHeader header;
   ByteBuffer payload;
 
+  // Scatter-gather payload (send side only; null on every received
+  // message — transports materialize at the NIC boundary).  When set,
+  // `payload` is empty and the wire image of the payload is the in-order
+  // concatenation of the gather list's segments.  Shared, not cloned, by
+  // Message/Frame copies (reply cache, ARQ retransmits, fault-plan
+  // duplicates): once sealed the buffer is immutable, so every copy
+  // frames byte-identical images.
+  std::shared_ptr<support::GatherBuffer> gathered;
+
   // Sender-side only (never framed onto the wire): the compiler marked
   // this reply as batchable — a profile-guided promotion of the §3.1 ACK
   // optimization.  A *batching* session may hold it back for coalescing
@@ -87,12 +98,23 @@ struct Message {
   // session ignores it.
   bool coalesce_hint = false;
 
+  // Payload length regardless of representation (contiguous or gathered).
+  std::size_t payload_size() const {
+    return gathered ? gathered->size() : payload.size();
+  }
+
+  // Pin/fold any borrowed spans so the payload image can no longer change.
+  // Must run before the message escapes the serializing call; idempotent.
+  void seal_gathered() {
+    if (gathered) gathered->seal();
+  }
+
   // Total bytes this message occupies on the (simulated) wire.  A call
   // carrying a deadline pays for the extra header field; default traffic
   // (deadline_ns == 0) is priced exactly as before deadlines existed.
   std::size_t wire_size() const {
     return kChargedHeaderBytes + (header.deadline_ns != 0 ? 8 : 0) +
-           payload.size();
+           payload_size();
   }
 };
 

@@ -8,7 +8,7 @@ namespace rmiopt::wire {
 
 bool Session::coalescible(const Message& msg) const {
   return msg.header.kind != MsgKind::Call &&
-         (msg.payload.size() <= cfg_.max_batch_payload || msg.coalesce_hint);
+         (msg.payload_size() <= cfg_.max_batch_payload || msg.coalesce_hint);
 }
 
 void Session::trace_event(trace::EventKind kind, std::uint64_t link_seq,
@@ -38,7 +38,7 @@ void Session::seal_and_emit(const FrameSink& sink) {
   queue_.clear();
   if (recorder_ != nullptr) {
     std::uint64_t payload = 0;
-    for (const Message& m : frame.messages) payload += m.payload.size();
+    for (const Message& m : frame.messages) payload += m.payload_size();
     trace_event(trace::EventKind::FrameEmit, frame.link_seq, 0, payload,
                 static_cast<std::uint32_t>(frame.messages.size()));
   }
@@ -76,11 +76,16 @@ void Session::post(Message msg, const FrameSink& sink) {
   RMIOPT_CHECK(msg.header.source_machine == src_ &&
                    msg.header.dest_machine == dst_,
                "message posted to the wrong session");
+  // A gathered payload must stop aliasing application memory before it can
+  // sit in the coalescing queue or be retransmitted: seal (pin/fold the
+  // borrowed spans) at the session boundary.  No-op when already sealed by
+  // the runtime, and for contiguous payloads.
+  msg.seal_gathered();
   std::scoped_lock lock(mu_);
   // The queue is emitted in posting order, so appending before deciding
   // whether to transmit preserves the per-link FIFO the inbox relies on.
   const bool hold = cfg_.batching() && coalescible(msg);
-  const std::uint64_t payload = msg.payload.size();
+  const std::uint64_t payload = msg.payload_size();
   queue_.push_back(std::move(msg));
   if (hold && queue_.size() < cfg_.max_batch_messages) {
     trace_event(trace::EventKind::SessionEnqueue, next_link_seq_, 0, payload,

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "support/error.hpp"
+#include "support/hash.hpp"
 #include "support/rng.hpp"
 #include "wire/framing.hpp"
 
@@ -106,6 +107,87 @@ TEST(FrameFuzz, MultiBitDamageIsRejected) {
     EXPECT_EQ(try_decode(std::move(bytes)), Outcome::Rejected)
         << "iter=" << iter;
   }
+}
+
+// ---- crafted varint encodings ----------------------------------------------
+// get_varint's contract: accept only canonical encodings whose value fits
+// in 64 bits.  A 10-byte varint has 70 payload bits; the decoder used to
+// shift the top 6 silently into the void, so two distinct wire images
+// could decode to the same value (a checksum-valid forgery primitive).
+
+std::uint64_t decode_varint(std::vector<std::uint8_t> bytes) {
+  ByteBuffer buf(std::move(bytes));
+  return buf.get_varint();
+}
+
+TEST(VarintFuzz, TenByteMaxValueDecodes) {
+  // 2^64 - 1 canonically: nine 0xff bytes (63 bits) + final 0x01 (bit 63).
+  std::vector<std::uint8_t> bytes(9, 0xff);
+  bytes.push_back(0x01);
+  EXPECT_EQ(decode_varint(bytes), UINT64_MAX);
+}
+
+TEST(VarintFuzz, SetBitsAboveTwoTo64AreRejected) {
+  // Nine 0xff bytes then 0x7f: the 10th byte's bits 1..6 land above 2^64.
+  // The old decoder returned UINT64_MAX here — silent truncation.
+  std::vector<std::uint8_t> bytes(9, 0xff);
+  bytes.push_back(0x7f);
+  EXPECT_THROW(decode_varint(bytes), DecodeError);
+  // Continuation bit set on the 10th byte: an 11-byte encoding can never
+  // fit in 64 bits regardless of what follows.
+  std::vector<std::uint8_t> eleven(10, 0xff);
+  eleven.push_back(0x01);
+  EXPECT_THROW(decode_varint(eleven), DecodeError);
+}
+
+TEST(VarintFuzz, OverlongEncodingsAreRejected) {
+  // 0x80 0x00 encodes zero in two bytes; the canonical form is one.  The
+  // encoder never emits a zero final byte after a continuation, so these
+  // only ever arrive from a forger or a corrupted image.
+  EXPECT_THROW(decode_varint({0x80, 0x00}), DecodeError);
+  EXPECT_THROW(decode_varint({0xff, 0x80, 0x00}), DecodeError);
+}
+
+TEST(VarintFuzz, TruncatedVarintUnderflows) {
+  EXPECT_THROW(decode_varint({0x80}), DecodeError);
+  EXPECT_THROW(decode_varint({}), DecodeError);
+}
+
+TEST(VarintFuzz, CanonicalRoundTrip) {
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{127},
+        std::uint64_t{128}, std::uint64_t{1} << 35, UINT64_MAX - 1,
+        UINT64_MAX}) {
+    ByteBuffer buf;
+    buf.put_varint(v);
+    EXPECT_EQ(buf.get_varint(), v) << v;
+  }
+}
+
+TEST(VarintFuzz, OverlongLinkSeqInValidFrameIsRejected) {
+  // Frame-level: a checksum-*valid* image whose link_seq varint is the
+  // overlong 0x80 0x00 instead of 0x00.  The checksum passes (we recompute
+  // it), so only the varint decoder's canonicality rule can reject it —
+  // exactly the hole the old decoder left open.
+  Frame frame;
+  frame.link_seq = 0;
+  Message m;
+  m.header.kind = MsgKind::Call;
+  m.payload.put_u8(0x42);
+  frame.messages.push_back(std::move(m));
+  std::vector<std::uint8_t> bytes = image_of(frame);
+  // Layout: [tag u8][checksum u32][body...]; body starts with link_seq.
+  ASSERT_EQ(bytes[5], 0x00);
+  std::vector<std::uint8_t> body(bytes.begin() + 5, bytes.end());
+  body[0] = 0x80;
+  body.insert(body.begin() + 1, 0x00);
+  const std::uint64_t h = fnv1a(body.data(), body.size());
+  const auto checksum = static_cast<std::uint32_t>(h ^ (h >> 32));
+  ByteBuffer out;
+  out.put_u8(bytes[0]);
+  out.put_u32(checksum);
+  out.put_bytes(body.data(), body.size());
+  EXPECT_EQ(try_decode(std::move(out).take()), Outcome::Rejected);
 }
 
 TEST(FrameFuzz, PureNoiseNeverCrashesTheDecoder) {

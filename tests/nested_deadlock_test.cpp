@@ -1,0 +1,146 @@
+// Regression test for a silent deadlock: a handler that performs a nested
+// *synchronous* remote invoke from the dispatcher thread, on a machine
+// configured with dispatch_workers == 1, waits for a reply only that same
+// (blocked) thread could process.  The call used to hang forever on a
+// healthy link.  The runtime now detects the re-entrant wait at the
+// executor boundary and fails fast with the typed, recoverable
+// NestedInvokeDeadlock error naming the sizing rule.
+#include <gtest/gtest.h>
+
+#include "rmi/runtime.hpp"
+
+namespace rmiopt::rmi {
+namespace {
+
+CompiledCallSite empty_site(std::uint32_t method) {
+  CompiledCallSite cs;
+  cs.method_id = method;
+  cs.plan = std::make_unique<serial::CallSitePlan>();
+  cs.plan->name = "nested.site";
+  return cs;
+}
+
+TEST(NestedDeadlock, SingleWorkerNestedInvokeFailsFastWithTheRule) {
+  om::TypeRegistry types;
+  net::Cluster cluster(3, types);
+  RmiSystem sys(cluster, types, ExecutorConfig{/*dispatch_workers=*/1});
+
+  std::string caught;
+  const auto leaf_mid = sys.define_method(
+      "leaf", [](CallContext&, auto, auto) {
+        return HandlerResult{};
+      });
+  const auto leaf_site = sys.add_callsite(empty_site(leaf_mid));
+
+  RemoteRef leaf_ref;
+  const auto nested_mid = sys.define_method(
+      "nested", [&](CallContext&, auto, auto) -> HandlerResult {
+        // Machine 1's dispatcher thread performs a synchronous invoke to
+        // machine 2 — the re-entrant wait the guard must refuse.
+        try {
+          (void)sys.invoke(1, leaf_ref, leaf_site, {});
+        } catch (const NestedInvokeDeadlock& e) {
+          caught = e.what();
+          throw;
+        }
+        return HandlerResult{};
+      });
+  const auto nested_site = sys.add_callsite(empty_site(nested_mid));
+
+  const om::ClassId svc = types.define_class("Svc", {});
+  const RemoteRef nested_ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(svc));
+  leaf_ref = sys.export_object(2, cluster.machine(2).heap().alloc(svc));
+  sys.start();
+
+  // The outer caller sees the handler's failure as a RemoteException —
+  // promptly, not after a retransmit budget or a wall-clock eternity.
+  try {
+    (void)sys.invoke(0, nested_ref, nested_site, {});
+    FAIL() << "nested invoke did not fail";
+  } catch (const RemoteException& e) {
+    EXPECT_NE(std::string(e.what()).find("dispatch_workers"),
+              std::string::npos);
+  }
+
+  // The handler-side error is the typed class and names the rule and the
+  // escape hatches.
+  EXPECT_NE(caught.find("would deadlock"), std::string::npos);
+  EXPECT_NE(caught.find("dispatch_workers >= 2"), std::string::npos);
+  EXPECT_NE(caught.find("invoke_oneway"), std::string::npos);
+
+  sys.stop();
+}
+
+TEST(NestedDeadlock, HandlerCanCatchAndRecover) {
+  om::TypeRegistry types;
+  net::Cluster cluster(3, types);
+  RmiSystem sys(cluster, types, ExecutorConfig{/*dispatch_workers=*/1});
+
+  const auto leaf_mid = sys.define_method(
+      "leaf", [](CallContext&, auto, auto) {
+        return HandlerResult{};
+      });
+  const auto leaf_site = sys.add_callsite(empty_site(leaf_mid));
+
+  RemoteRef leaf_ref;
+  const auto nested_mid = sys.define_method(
+      "nested", [&](CallContext&, auto, auto) {
+        // Recoverable by contract: the handler catches the typed error,
+        // degrades gracefully, and still produces its own reply.
+        try {
+          (void)sys.invoke(1, leaf_ref, leaf_site, {});
+        } catch (const NestedInvokeDeadlock&) {
+          // fall through: reply without the nested result
+        }
+        return HandlerResult{};
+      });
+  const auto nested_site = sys.add_callsite(empty_site(nested_mid));
+
+  const om::ClassId svc = types.define_class("Svc", {});
+  const RemoteRef nested_ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(svc));
+  leaf_ref = sys.export_object(2, cluster.machine(2).heap().alloc(svc));
+  sys.start();
+
+  // No throw: the handler recovered and the call completes normally.
+  EXPECT_EQ(sys.invoke(0, nested_ref, nested_site, {}), nullptr);
+
+  sys.stop();
+}
+
+TEST(NestedDeadlock, TwoWorkersAllowNestedInvokes) {
+  om::TypeRegistry types;
+  net::Cluster cluster(3, types);
+  RmiSystem sys(cluster, types, ExecutorConfig{/*dispatch_workers=*/2});
+
+  const auto leaf_mid = sys.define_method(
+      "leaf", [](CallContext&, auto, auto) {
+        return HandlerResult{};
+      });
+  const auto leaf_site = sys.add_callsite(empty_site(leaf_mid));
+
+  RemoteRef leaf_ref;
+  std::atomic<bool> nested_ok{false};
+  const auto nested_mid = sys.define_method(
+      "nested", [&](CallContext&, auto, auto) {
+        (void)sys.invoke(1, leaf_ref, leaf_site, {});
+        nested_ok = true;
+        return HandlerResult{};
+      });
+  const auto nested_site = sys.add_callsite(empty_site(nested_mid));
+
+  const om::ClassId svc = types.define_class("Svc", {});
+  const RemoteRef nested_ref =
+      sys.export_object(1, cluster.machine(1).heap().alloc(svc));
+  leaf_ref = sys.export_object(2, cluster.machine(2).heap().alloc(svc));
+  sys.start();
+
+  EXPECT_EQ(sys.invoke(0, nested_ref, nested_site, {}), nullptr);
+  EXPECT_TRUE(nested_ok.load());
+
+  sys.stop();
+}
+
+}  // namespace
+}  // namespace rmiopt::rmi

@@ -1,0 +1,86 @@
+// Regression test for a shutdown message-loss bug: with a batching
+// SessionConfig, RmiSystem::stop() flushed the coalescing queues (via
+// Cluster::shutdown) *before* draining the executors.  A handler that
+// finished during the executor drain posted its small reply into a
+// session queue after that only flush — where it sat, silently held,
+// forever.  stop() now re-flushes every session once no handler can
+// produce more traffic, and asserts nothing is left queued.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "rmi/runtime.hpp"
+
+namespace rmiopt::rmi {
+namespace {
+
+class SessionDrainTest : public ::testing::Test {
+ protected:
+  SessionDrainTest()
+      : cluster(2, types, {}, net::TransportKind::Sim, batching_config()),
+        sys(cluster, types, ExecutorConfig{/*dispatch_workers=*/2}) {}
+
+  ~SessionDrainTest() override { sys.stop(); }
+
+  static wire::SessionConfig batching_config() {
+    wire::SessionConfig cfg;
+    cfg.max_batch_messages = 8;  // replies/ACKs coalesce, Calls flush
+    return cfg;
+  }
+
+  CompiledCallSite ack_site(std::uint32_t method) {
+    CompiledCallSite cs;
+    cs.method_id = method;
+    cs.plan = std::make_unique<serial::CallSitePlan>();
+    cs.plan->name = "drain.site";
+    cs.batch_replies = true;
+    return cs;
+  }
+
+  om::TypeRegistry types;
+  net::Cluster cluster;
+  RmiSystem sys;
+};
+
+TEST_F(SessionDrainTest, StopFlushesRepliesPostedDuringExecutorDrain) {
+  std::atomic<int> handled{0};
+  const auto mid = sys.define_method(
+      "slow_ack", [&](CallContext&, auto, auto) {
+        // Real-time sleep: the handler is still running when the caller
+        // reaches stop(), so its ACK is posted during the executor drain —
+        // after the shutdown flush, the exact window the bug lived in.
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        handled.fetch_add(1);
+        return HandlerResult{};
+      });
+  const auto site = sys.add_callsite(ack_site(mid));
+  om::ObjRef target = cluster.machine(1).heap().alloc(
+      types.define_class("Svc", {}));
+  const RemoteRef ref = sys.export_object(1, target);
+  sys.start();
+
+  // Abandoned async calls: nobody waits for the ACKs, so nothing pulls
+  // them out of the batching session queue on the reply link.
+  for (int i = 0; i < 3; ++i) {
+    RmiFuture f = sys.invoke_async(0, ref, site, {});
+    // dropped un-consumed: the call itself still executes at the callee
+  }
+  // A oneway Call on the same link transmits immediately even under
+  // batching (Calls are flush triggers, never held).
+  sys.invoke_oneway(0, ref, site, {});
+
+  sys.stop();
+
+  // Every handler ran to completion during the drain...
+  EXPECT_EQ(handled.load(), 4);
+  // ...and no session is still holding its reply hostage.
+  EXPECT_EQ(cluster.queued_messages(), 0u);
+  // The ACKs physically reached the transport: 4 Calls out, 3 ACKs back
+  // (the oneway Call is fire-and-forget, no reply message).
+  EXPECT_EQ(cluster.stats().messages, 7u);
+}
+
+}  // namespace
+}  // namespace rmiopt::rmi
