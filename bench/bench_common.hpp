@@ -63,8 +63,37 @@ inline void print_fault_table(const std::vector<LevelRun>& runs) {
   std::printf("injected faults and recovery\n%s\n", t.render().c_str());
 }
 
+// Prints the zero-copy receive counters — borrowed spans/bytes and the
+// frame pool's hit/miss traffic — but only when borrowing actually
+// engaged (CostModel::zero_copy_receive on a non-HEAVY workload), so
+// default knob-off output stays bit-for-bit identical to a build without
+// zero-copy receive support.
+inline void print_zero_copy_recv_table(const std::vector<LevelRun>& runs) {
+  bool any = false;
+  for (const auto& run : runs) {
+    any = any || run.result.total.serial.recv_segments > 0 ||
+          run.result.net.frame_pool_hits > 0 ||
+          run.result.net.frame_pool_misses > 0;
+  }
+  if (!any) return;
+  TextTable t({"Optimization", "rx spans", "rx borrowed B", "rx copied B",
+               "pool hits", "pool misses"});
+  for (const auto& run : runs) {
+    const auto& s = run.result.total.serial;
+    const auto& n = run.result.net;
+    t.add_row({std::string(codegen::to_string(run.level)),
+               std::to_string(s.recv_segments),
+               std::to_string(s.recv_bytes_borrowed),
+               std::to_string(s.bytes_copied_rx),
+               std::to_string(n.frame_pool_hits),
+               std::to_string(n.frame_pool_misses)});
+  }
+  std::printf("zero-copy receive\n%s\n", t.render().c_str());
+}
+
 // Prints a "seconds | gain over 'class'" table like Tables 1/2/3/5,
-// followed by the fault table when fault injection was active.
+// followed by the fault table when fault injection was active and the
+// zero-copy receive table when borrowing engaged.
 inline void print_runtime_table(const std::string& title,
                                 const std::vector<LevelRun>& runs) {
   std::printf("%s\n", title.c_str());
@@ -77,6 +106,7 @@ inline void print_runtime_table(const std::string& title,
   }
   std::printf("%s\n", t.render().c_str());
   print_fault_table(runs);
+  print_zero_copy_recv_table(runs);
 }
 
 // Prints a runtime-statistics table like Tables 4/6/8.  The

@@ -123,6 +123,76 @@ void BM_DeserializeCallSiteReusing(benchmark::State& state) {
 }
 BENCHMARK(BM_DeserializeCallSiteReusing);
 
+// ---- receive path: copy out vs borrow from the pinned frame ----------------
+// One 8-row matrix whose row payload is Arg(0) bytes, decoded from a
+// refcounted frame image.  The copy variant materializes rows into fresh
+// inline storage; the borrow variant hands out spans into the pinned
+// frame (what zero_copy_receive does for rows >= gather_min_borrow_bytes).
+// Sweeping the row size shows where borrowing starts to win in real time —
+// the wall-clock justification for the threshold default.
+
+struct RecvFixture {
+  om::TypeRegistry types;
+  serial::ClassPlanRegistry class_plans{types};
+  om::Heap heap{types};
+  std::unique_ptr<serial::NodePlan> plan;
+  std::shared_ptr<std::vector<std::uint8_t>> frame;
+
+  explicit RecvFixture(std::uint32_t row_bytes) {
+    const om::ClassId row = types.register_prim_array(om::TypeKind::Double);
+    const om::ClassId mat = types.register_ref_array(row);
+    const auto cols =
+        static_cast<std::uint32_t>(row_bytes / sizeof(double));
+    om::ObjRef m = heap.alloc_array(mat, 8);
+    for (std::uint32_t r = 0; r < 8; ++r) {
+      om::ObjRef rr = heap.alloc_array(row, cols);
+      auto e = rr->elems<double>();
+      for (std::uint32_t c = 0; c < cols; ++c) e[c] = r * 1000.0 + c;
+      m->set_elem_ref(r, rr);
+    }
+    auto inner = std::make_unique<serial::NodePlan>();
+    inner->expected_class = row;
+    plan = std::make_unique<serial::NodePlan>();
+    plan->expected_class = mat;
+    plan->elem_plan = std::move(inner);
+
+    serial::SerialStats ws;
+    serial::SerialWriter w(class_plans, ws, false);
+    ByteBuffer buf;
+    w.write(buf, *plan, m);
+    heap.free_graph(m);
+    frame =
+        std::make_shared<std::vector<std::uint8_t>>(std::move(buf).take());
+  }
+};
+
+void deserialize_receive(benchmark::State& state, bool borrow) {
+  RecvFixture f(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    ByteBuffer in = ByteBuffer::view(f.frame->data(), f.frame->size(), f.frame);
+    serial::SerialStats rs;
+    serial::SerialReader r(f.class_plans, f.heap, rs, false);
+    if (borrow) r.enable_borrow(/*min_bytes=*/1);
+    om::ObjRef copy = r.read(in, *f.plan);
+    benchmark::DoNotOptimize(copy);
+    f.heap.free_graph(copy);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(8 * state.range(0)));
+}
+
+void BM_DeserializeReceiveCopy(benchmark::State& state) {
+  deserialize_receive(state, /*borrow=*/false);
+}
+BENCHMARK(BM_DeserializeReceiveCopy)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_DeserializeReceiveBorrow(benchmark::State& state) {
+  deserialize_receive(state, /*borrow=*/true);
+}
+BENCHMARK(BM_DeserializeReceiveBorrow)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
 void BM_CycleTableProbe(benchmark::State& state) {
   Fixture& f = fixture();
   std::vector<om::ObjRef> objs;

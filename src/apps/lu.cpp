@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <condition_variable>
+#include <cstring>
 #include <mutex>
 #include <thread>
 
@@ -94,8 +95,12 @@ RunResult run_lu(codegen::OptLevel level, const LuConfig& cfg) {
                       std::span<const om::ObjRef> args) {
         const auto k = static_cast<std::size_t>(scalars[0]);
         LuMachine& st = state[ctx.machine().id()];
-        const auto row = args[0]->elems<double>();
-        std::copy(row.begin(), row.end(), st.a.begin() + k * n);
+        // memcpy through the const payload: a zero-copy-received row may
+        // be a pinned borrow at an arbitrary wire offset, where a typed
+        // span is rejected and a mutable access would detach it.
+        const om::Object& row = *args[0];
+        std::memcpy(st.a.data() + k * n, row.payload(),
+                    row.length() * sizeof(double));
         st.mark_row(k);
         return rmi::HandlerResult{};
       });
@@ -208,8 +213,9 @@ RunResult run_lu(codegen::OptLevel level, const LuConfig& cfg) {
         om::ObjRef row = sys.invoke(
             0, peers[owner], fetch_site, {},
             std::array<std::int64_t, 1>{static_cast<std::int64_t>(i)});
-        const auto e = row->elems<double>();
-        std::copy(e.begin(), e.end(), st.a.begin() + i * n);
+        const om::Object& r = *row;  // possibly a pinned (unaligned) borrow
+        std::memcpy(st.a.data() + i * n, r.payload(),
+                    r.length() * sizeof(double));
         if (!fetch_reuses_ret) heap.free_graph(row);
       }
     }

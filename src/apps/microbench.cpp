@@ -83,7 +83,7 @@ RunResult run_array_bench(codegen::OptLevel level,
       [&](rmi::CallContext&, auto, std::span<const om::ObjRef> args) {
         // Touch the data so the transfer is observable.
         const om::ObjRef m = args[0];
-        checksum += m->get_elem_ref(0)->elems<double>()[0];
+        checksum += m->get_elem_ref(0)->get_elem<double>(0);
         return rmi::HandlerResult{};
       });
   const auto site_id = sys.add_callsite(

@@ -125,6 +125,9 @@ NetworkStats::Snapshot Cluster::stats() const {
     total.dedup_forced_slides += c.forced_slides;
     total.dedup_late_recoveries += c.late_recoveries;
     total.dedup_skipped_expired += c.skipped_expired;
+    const support::FramePool::Counters p = m->frame_pool().counters();
+    total.frame_pool_hits += p.hits;
+    total.frame_pool_misses += p.misses;
   }
   if (detector_ != nullptr) {
     const FailureDetector::Counters c = detector_->counters();

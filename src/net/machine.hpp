@@ -18,6 +18,7 @@
 #include "net/clock.hpp"
 #include "objmodel/heap.hpp"
 #include "serial/cost_model.hpp"
+#include "support/frame_pool.hpp"
 #include "trace/trace.hpp"
 #include "wire/protocol.hpp"
 #include "wire/session.hpp"
@@ -41,6 +42,12 @@ class Machine {
   om::Heap& heap() { return heap_; }
   VirtualClock& clock() { return clock_; }
   const serial::CostModel& cost() const { return cost_; }
+
+  // Receive-ring freelist for the zero-copy delivery path; transports
+  // acquire a block here when CostModel::zero_copy_receive is on.  Only
+  // ever touched with the knob on, so its counters stay zero otherwise.
+  support::FramePool& frame_pool() { return pool_; }
+  const support::FramePool& frame_pool() const { return pool_; }
 
   // Called by the cluster: enqueue a message that arrives at `arrival`.
   void deliver(wire::Message msg, SimTime arrival);
@@ -80,6 +87,7 @@ class Machine {
   om::Heap heap_;
   VirtualClock clock_;
   const serial::CostModel& cost_;
+  support::FramePool pool_;
 
   trace::Recorder* recorder_ = nullptr;
 

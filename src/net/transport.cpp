@@ -4,6 +4,7 @@
 
 #include "net/machine.hpp"
 #include "support/error.hpp"
+#include "support/frame_pool.hpp"
 
 namespace rmiopt::net {
 
@@ -69,7 +70,22 @@ wire::SendOutcome SimTransport::submit(Machine& sender, Machine& receiver,
   // Physical transmission: only the byte image crosses the "wire".  For
   // gathered payloads encode_frame walks the segment list — this is where
   // the NIC concatenates the iovec.
-  ByteBuffer image = wire::encode_frame(frame);
+  ByteBuffer image;
+  if (cost_.zero_copy_receive) {
+    // Zero-copy receive: the image lands in a pooled buffer from the
+    // receiver's ring, and decode hands every message a pinned view into
+    // it instead of a per-message copy.  The block recycles when the last
+    // payload view (or borrowing object) releases it; a dedup-rejected
+    // duplicate drops its ref right here when `image` dies.
+    support::FramePool::BlockRef block =
+        receiver.frame_pool().acquire(charged + 32);
+    wire::encode_frame_into(frame, block->bytes);
+    const std::uint8_t* data = block->bytes.data();
+    const std::size_t size = block->bytes.size();
+    image = ByteBuffer::view(data, size, std::move(block));
+  } else {
+    image = wire::encode_frame(frame);
+  }
   wire::Frame received;
   try {
     received = wire::decode_frame(image);
@@ -114,11 +130,32 @@ wire::SendOutcome LoopbackTransport::submit(Machine& sender,
     // Gathered payloads pass through as segments all the way to delivery;
     // the receive side only ever sees contiguous bytes, so concatenate
     // here, at this backend's NIC boundary.
-    copy.payload = msg.gathered
-                       ? ByteBuffer(msg.gathered->gather())
-                       : ByteBuffer(std::vector<std::uint8_t>(
-                             msg.payload.contents().begin(),
-                             msg.payload.contents().end()));
+    if (cost_.zero_copy_receive) {
+      // Zero-copy receive: this backend's NIC boundary writes the payload
+      // into a pooled buffer from the receiver's ring and delivers a
+      // pinned view (one block per message — struct delivery has no frame
+      // image for messages to share).
+      support::FramePool::BlockRef block =
+          receiver.frame_pool().acquire(msg.payload_size());
+      if (msg.gathered) {
+        msg.gathered->for_each_segment(
+            [&](const std::uint8_t* d, std::size_t n) {
+              block->bytes.insert(block->bytes.end(), d, d + n);
+            });
+      } else {
+        const auto contents = msg.payload.contents();
+        block->bytes.assign(contents.begin(), contents.end());
+      }
+      const std::uint8_t* data = block->bytes.data();
+      const std::size_t size = block->bytes.size();
+      copy.payload = ByteBuffer::view(data, size, std::move(block));
+    } else {
+      copy.payload = msg.gathered
+                         ? ByteBuffer(msg.gathered->gather())
+                         : ByteBuffer(std::vector<std::uint8_t>(
+                               msg.payload.contents().begin(),
+                               msg.payload.contents().end()));
+    }
     receiver.deliver(std::move(copy), arrival);
   }
   return wire::SendOutcome::Delivered;

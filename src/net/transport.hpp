@@ -60,6 +60,12 @@ class NetworkStats {
     std::uint64_t coalesced = 0;  // messages that shared a frame with others
     std::uint64_t gathered_messages = 0;  // messages sent scatter-gather
 
+    // Receive-side frame pooling (filled in by Cluster::stats() from the
+    // per-machine pools; both zero unless CostModel::zero_copy_receive
+    // routed delivery through pooled, pinned frame buffers).
+    std::uint64_t frame_pool_hits = 0;    // deliveries served by the freelist
+    std::uint64_t frame_pool_misses = 0;  // freelist dry: fresh buffer
+
     // Fault/reliability counters — all zero on a healthy network.
     std::uint64_t dropped = 0;      // frames lost in transit
     std::uint64_t duplicated = 0;   // extra copies injected
@@ -88,6 +94,8 @@ class NetworkStats {
       frames += o.frames;
       coalesced += o.coalesced;
       gathered_messages += o.gathered_messages;
+      frame_pool_hits += o.frame_pool_hits;
+      frame_pool_misses += o.frame_pool_misses;
       dropped += o.dropped;
       duplicated += o.duplicated;
       reordered += o.reordered;

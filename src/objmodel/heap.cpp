@@ -2,15 +2,34 @@
 
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace rmiopt::om {
 
 std::size_t Object::payload_size() const {
   if (cls_->is_array) {
-    return static_cast<std::size_t>(length_) * size_of(cls_->elem_kind);
+    return static_cast<std::size_t>(length()) * size_of(cls_->elem_kind);
   }
   return cls_->instance_size;
+}
+
+void Object::detach() {
+  BorrowedStorage* s = borrowed_storage();
+  if (s->pin == nullptr) return;  // already detached (or rebound to owned)
+  s->owned.assign(s->data, s->data + payload_size());
+  s->data = s->owned.data();
+  s->pin.reset();
+}
+
+void rebind_borrowed(Object* obj, const std::uint8_t* data,
+                     std::shared_ptr<void> pin) {
+  RMIOPT_CHECK(obj->has_borrowed_storage(),
+               "rebind_borrowed on inline-storage object");
+  BorrowedStorage* s = obj->borrowed_storage();
+  s->owned.clear();
+  s->data = data;
+  s->pin = std::move(pin);  // drops the previous frame's refcount
 }
 
 ObjRef Heap::raw_alloc(const ClassDescriptor& cls, std::uint32_t length,
@@ -35,6 +54,25 @@ ObjRef Heap::alloc_array(const ClassDescriptor& cls, std::uint32_t length) {
                    static_cast<std::size_t>(length) * size_of(cls.elem_kind));
 }
 
+ObjRef Heap::alloc_array_borrowed(const ClassDescriptor& cls,
+                                  std::uint32_t length,
+                                  const std::uint8_t* data,
+                                  std::shared_ptr<void> pin) {
+  RMIOPT_CHECK(cls.is_array && cls.elem_kind != TypeKind::Ref,
+               "alloc_array_borrowed requires a primitive array class");
+  RMIOPT_CHECK((length & Object::kBorrowedBit) == 0, "array length overflow");
+  // The payload area holds only the control-block pointer; the elements
+  // stay in the pinned frame until a mutable access detaches them.
+  ObjRef obj = raw_alloc(cls, length, sizeof(BorrowedStorage*));
+  auto* storage = new BorrowedStorage;
+  storage->data = data;
+  storage->pin = std::move(pin);
+  std::memcpy(reinterpret_cast<std::uint8_t*>(obj + 1), &storage,
+              sizeof(storage));
+  obj->length_ |= Object::kBorrowedBit;
+  return obj;
+}
+
 ObjRef Heap::alloc_string(std::string_view text) {
   ObjRef s = alloc_array(types_.get(types_.string_class()),
                          static_cast<std::uint32_t>(text.size()));
@@ -44,7 +82,16 @@ ObjRef Heap::alloc_string(std::string_view text) {
 
 void Heap::free(ObjRef obj) {
   if (obj == nullptr) return;
-  const std::size_t total = sizeof(Object) + obj->payload_size();
+  std::size_t total;
+  if (obj->has_borrowed_storage()) {
+    // Symmetric with alloc_array_borrowed: only the header + control-block
+    // pointer were charged.  Deleting the control block drops the frame
+    // pin (if still held), letting the pooled buffer recycle.
+    delete obj->borrowed_storage();
+    total = sizeof(Object) + sizeof(BorrowedStorage*);
+  } else {
+    total = sizeof(Object) + obj->payload_size();
+  }
   obj->~Object();
   ::operator delete(static_cast<void*>(obj), std::align_val_t{16});
   stats_.objects_freed.fetch_add(1, std::memory_order_relaxed);
@@ -114,8 +161,10 @@ bool deep_equals(const ObjRef a, const ObjRef b) {
         for (std::uint32_t i = 0; i < x->length(); ++i) {
           stack.emplace_back(x->get_elem_ref(i), y->get_elem_ref(i));
         }
-      } else if (std::memcmp(x->payload(), y->payload(), x->payload_size()) !=
-                 0) {
+      } else if (std::memcmp(std::as_const(*x).payload(),
+                             std::as_const(*y).payload(),
+                             x->payload_size()) != 0) {
+        // const reads: comparing must never trigger a COW detach
         return false;
       }
       continue;
@@ -125,8 +174,8 @@ bool deep_equals(const ObjRef a, const ObjRef b) {
         stack.emplace_back(x->get_ref(f), y->get_ref(f));
       } else {
         const auto sz = size_of(f.kind);
-        if (std::memcmp(x->payload() + f.offset, y->payload() + f.offset,
-                        sz) != 0) {
+        if (std::memcmp(std::as_const(*x).payload() + f.offset,
+                        std::as_const(*y).payload() + f.offset, sz) != 0) {
           return false;
         }
       }
@@ -156,7 +205,8 @@ ObjRef deep_clone(Heap& heap, const ObjRef obj) {
     const ClassDescriptor& cls = o->cls();
     ObjRef copy = cls.is_array ? heap.alloc_array(cls, o->length())
                                : heap.alloc(cls);
-    std::memcpy(copy->payload(), o->payload(), o->payload_size());
+    std::memcpy(copy->payload(), std::as_const(*o).payload(),
+                o->payload_size());
     copies.emplace(o, copy);
   }
   // Second pass: rewrite reference slots to point at the copies.

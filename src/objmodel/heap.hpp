@@ -16,9 +16,11 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string_view>
 #include <unordered_set>
+#include <vector>
 
 #include "objmodel/class_desc.hpp"
 #include "support/error.hpp"
@@ -27,15 +29,59 @@ namespace rmiopt::om {
 
 class Heap;
 
+// Out-of-line storage for a primitive array whose elements live (or lived)
+// in a pinned receive-frame buffer rather than inline after the header.
+// While `pin` is held, `data` aliases the frame image and the frame cannot
+// recycle; a copy-on-write detach (any mutable access) copies the elements
+// into `owned`, repoints `data` at them and drops the pin.  `rebind` (the
+// §3.3 reuse-cache integration) swaps `data`/`pin` to a *new* frame,
+// releasing the previous one.
+struct BorrowedStorage {
+  const std::uint8_t* data = nullptr;
+  std::vector<std::uint8_t> owned;
+  std::shared_ptr<void> pin;
+};
+
 class alignas(16) Object {
  public:
+  // Bit 31 of length_ marks indirect (borrowed-capable) storage; array
+  // lengths are capped at 0x7fffffff by the wire decoder, so the bit is
+  // free and sizeof(Object) — which feeds the allocation-volume tables —
+  // does not change.
+  static constexpr std::uint32_t kBorrowedBit = 0x80000000u;
+
   const ClassDescriptor& cls() const { return *cls_; }
   ClassId class_id() const { return cls_->id; }
   bool is_array() const { return cls_->is_array; }
-  std::uint32_t length() const { return length_; }
+  std::uint32_t length() const { return length_ & ~kBorrowedBit; }
 
-  std::uint8_t* payload() { return reinterpret_cast<std::uint8_t*>(this + 1); }
+  // True when the payload lives behind a BorrowedStorage control block
+  // (possibly already detached to owned bytes).
+  bool has_borrowed_storage() const { return (length_ & kBorrowedBit) != 0; }
+  // True while the payload still aliases a pinned receive frame.
+  bool is_pinned_borrow() const {
+    return has_borrowed_storage() && borrowed_storage()->pin != nullptr;
+  }
+  BorrowedStorage* borrowed_storage() const {
+    BorrowedStorage* s;
+    std::memcpy(&s, reinterpret_cast<const std::uint8_t*>(this + 1),
+                sizeof(s));
+    return s;
+  }
+
+  // Mutable access is the copy-on-write escape hatch: a borrowed array
+  // detaches to owned bytes before the pointer is handed out, so the
+  // frame image can never be scribbled on (retransmits and replay-cache
+  // copies stay byte-identical).
+  std::uint8_t* payload() {
+    if (has_borrowed_storage()) {
+      detach();
+      return borrowed_storage()->owned.data();
+    }
+    return reinterpret_cast<std::uint8_t*>(this + 1);
+  }
   const std::uint8_t* payload() const {
+    if (has_borrowed_storage()) return borrowed_storage()->data;
     return reinterpret_cast<const std::uint8_t*>(this + 1);
   }
   std::size_t payload_size() const;
@@ -66,36 +112,76 @@ class alignas(16) Object {
   }
 
   // ---- array elements --------------------------------------------------
+  // Spans require element alignment.  Inline payloads are 16-aligned by
+  // construction and detached/owned storage by the allocator, but a
+  // *pinned borrow* aliases wire bytes at an arbitrary stream offset —
+  // binding a typed span there is UB, so it is rejected with a typed
+  // error; use get_elem/set_elem (memcpy, alignment-free) instead, or
+  // take the mutable span, which detaches first.
   template <typename T>
   std::span<T> elems() {
-    return {reinterpret_cast<T*>(payload()), length_};
+    std::uint8_t* p = payload();  // detaches a borrow: owned bytes align
+    check_aligned(p, alignof(T));
+    return {reinterpret_cast<T*>(p), length()};
   }
   template <typename T>
   std::span<const T> elems() const {
-    return {reinterpret_cast<const T*>(payload()), length_};
+    const std::uint8_t* p = payload();
+    check_aligned(p, alignof(T));
+    return {reinterpret_cast<const T*>(p), length()};
+  }
+
+  // Alignment-free element access.  get_elem reads through the const
+  // payload — it never detaches a pinned borrow; set_elem is a mutation
+  // and detaches copy-on-write like any other.
+  template <typename T>
+  T get_elem(std::uint32_t i) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    RMIOPT_CHECK(i < length(), "array index out of range");
+    T v;
+    std::memcpy(&v, payload() + i * sizeof(T), sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void set_elem(std::uint32_t i, T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    RMIOPT_CHECK(i < length(), "array index out of range");
+    std::memcpy(payload() + i * sizeof(T), &v, sizeof(T));
   }
 
   Object* get_elem_ref(std::uint32_t i) const {
-    RMIOPT_CHECK(i < length_, "array index out of range");
+    RMIOPT_CHECK(i < length(), "array index out of range");
     Object* v;
     std::memcpy(&v, payload() + i * sizeof(Object*), sizeof(v));
     return v;
   }
   void set_elem_ref(std::uint32_t i, Object* v) {
-    RMIOPT_CHECK(i < length_, "array index out of range");
+    RMIOPT_CHECK(i < length(), "array index out of range");
     std::memcpy(payload() + i * sizeof(Object*), &v, sizeof(v));
   }
 
   std::string_view as_string_view() const {
     RMIOPT_CHECK(cls_->is_string, "object is not a string");
-    return {reinterpret_cast<const char*>(payload()), length_};
+    return {reinterpret_cast<const char*>(payload()), length()};
   }
 
  private:
   friend class Heap;
+  friend void rebind_borrowed(Object* obj, const std::uint8_t* data,
+                              std::shared_ptr<void> pin);
+
+  static void check_aligned(const void* p, std::size_t align) {
+    RMIOPT_CHECK(reinterpret_cast<std::uintptr_t>(p) % align == 0,
+                 "misaligned payload for a typed span: use get_elem/set_elem");
+  }
   Object(const ClassDescriptor* cls, std::uint32_t length)
       : cls_(cls), length_(length) {}
   ~Object() = default;
+
+  // Copies borrowed elements into the control block's owned vector and
+  // drops the frame pin.  Idempotent; defined out of line (needs
+  // payload_size).
+  void detach();
 
   const ClassDescriptor* cls_;
   std::uint32_t length_;
@@ -130,6 +216,17 @@ class Heap {
     return alloc_array(types_.get(id), length);
   }
 
+  // Allocates a primitive array whose elements *alias* [data, data +
+  // length * elem_size) — typically a span into a pinned receive frame —
+  // instead of being copied inline.  The object holds `pin` until it
+  // detaches (copy-on-write on mutable access) or is freed.  Only the
+  // header plus one control-block pointer are charged to the heap, which
+  // is exactly the allocation-volume saving the zero-copy receive path
+  // claims.
+  ObjRef alloc_array_borrowed(const ClassDescriptor& cls, std::uint32_t length,
+                              const std::uint8_t* data,
+                              std::shared_ptr<void> pin);
+
   ObjRef alloc_string(std::string_view text);
 
   // Frees one object (not its referents).
@@ -147,6 +244,13 @@ class Heap {
   const TypeRegistry& types_;
   HeapStats stats_;
 };
+
+// Swaps a borrowed array's storage to a span in a *new* frame, releasing
+// the pin on the previous one.  This is the §3.3 reuse-cache integration:
+// `read_reusing` retargets the cached object instead of rewriting bytes.
+// Any bytes a previous detach copied are discarded.
+void rebind_borrowed(Object* obj, const std::uint8_t* data,
+                     std::shared_ptr<void> pin);
 
 // Structural deep equality over object graphs; cycle-safe (two graphs are
 // equal if a bisimulation relating their nodes exists along the traversal).

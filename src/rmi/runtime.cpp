@@ -804,6 +804,11 @@ om::ObjRef RmiSystem::finish_remote(AsyncCallState& st) {
   serial::SerialReader r(
       class_plans_, m.heap(), rpass, cycle_enabled,
       pass_trace(trace::EventKind::Deserialize, caller, callsite_id, seq));
+  // Zero-copy receive: a non-HEAVY reply decoded from a pinned frame may
+  // borrow its large primitive-array rows instead of copying them out.
+  if (cluster_.cost().zero_copy_receive && !site.heavy) {
+    r.enable_borrow(cluster_.cost().gather_min_borrow_bytes);
+  }
   om::ObjRef value = nullptr;
   if (site.heavy) {
     value = r.read_introspective(rep.msg.payload);
@@ -1395,6 +1400,13 @@ RmiSystem::DecodedCall RmiSystem::decode_call(std::uint16_t machine_id,
       class_plans_, m.heap(), pass, cycle_enabled,
       pass_trace(trace::EventKind::Deserialize, machine_id, h.callsite_id,
                  h.seq));
+  // Zero-copy receive: non-HEAVY argument decodes from a pinned frame may
+  // borrow large primitive-array rows straight out of it (threshold shared
+  // with the send-side gather — the crossover is the same iovec-vs-memcpy
+  // trade in the other direction).
+  if (cluster_.cost().zero_copy_receive && !site.heavy) {
+    reader.enable_borrow(cluster_.cost().gather_min_borrow_bytes);
+  }
   call.args.assign(plan.args.size(), nullptr);
   std::vector<om::ObjRef> cached;
   call.reuse = plan.reuse_args && !site.heavy;

@@ -79,10 +79,19 @@ struct CostModel {
   std::int64_t generic_arg_box_ns = 800;
 
   // ---- zero-copy receive (related-work integration, §6 [10]) -------------
-  // When enabled, the receive path keeps primitive payloads in the network
-  // buffer (Kono & Masuda's dynamic specialization); the paper notes "our
-  // object reuse scheme can be used in combination with their zero copy
-  // scheme for increased performance".
+  // When enabled (Kono & Masuda's scheme; the paper notes "our object
+  // reuse scheme can be used in combination with their zero copy scheme
+  // for increased performance"), delivery lands frame images in pooled,
+  // refcounted buffers (support::FramePool) and non-HEAVY readers
+  // *borrow* inline primitive-array rows of at least
+  // gather_min_borrow_bytes straight out of the pinned frame instead of
+  // copying them into fresh heap storage.  Borrowed arrays detach
+  // (copy-on-write) on any mutable access; the frame recycles when its
+  // last borrower lets go.  A borrowed row is charged per segment
+  // (gather_segment_ns) plus light per-KB preprocessing below, replacing
+  // the per-byte copy charge for exactly the bytes not copied.  Off
+  // (default): no pool, no pins, no borrows — the historical copy path,
+  // bit for bit.
   bool zero_copy_receive = false;
   double zero_copy_preprocess_ns_per_kb = 80.0;
 

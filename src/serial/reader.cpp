@@ -44,6 +44,23 @@ om::ObjRef SerialReader::fresh_alloc(const om::ClassDescriptor& cls,
   return obj;
 }
 
+om::ObjRef SerialReader::borrowed_alloc(const om::ClassDescriptor& cls,
+                                        std::uint32_t length, ByteBuffer& in) {
+  const std::size_t psize =
+      static_cast<std::size_t>(length) * om::size_of(cls.elem_kind);
+  om::ObjRef obj =
+      heap_.alloc_array_borrowed(cls, length, in.view_bytes(psize), in.pin());
+  ++stats_.objects_allocated;
+  // Real allocation volume: header + control-block pointer.  The element
+  // bytes stay in the pinned frame, which is the "new (MBytes)" saving the
+  // zero-copy receive path delivers.
+  stats_.bytes_allocated += sizeof(om::Object) + sizeof(om::BorrowedStorage*);
+  ++stats_.recv_segments;
+  stats_.recv_bytes_borrowed += psize;
+  fresh_.push_back(obj);
+  return obj;
+}
+
 void SerialReader::adopt_cache_roots(std::span<const om::ObjRef> roots) {
   for (om::ObjRef root : roots) om::collect_graph(root, cache_seen_);
 }
@@ -193,6 +210,15 @@ om::ObjRef SerialReader::read_body(ByteBuffer& in, const NodePlan& body,
     const std::uint64_t wire_length = in.get_varint();
     check_array_length(in, cls, wire_length);
     const auto length = static_cast<std::uint32_t>(wire_length);
+    const bool prim = cls.elem_kind != om::TypeKind::Ref;
+    const std::size_t psize =
+        prim ? static_cast<std::size_t>(length) * om::size_of(cls.elem_kind)
+             : 0;
+    // Borrow gate: armed by the runtime (non-HEAVY site, knob on), input
+    // backed by a pinned frame, and the row big enough that a span beats
+    // the memcpy (same crossover logic as the send-side gather).
+    const bool borrowable =
+        prim && borrow_min_ != 0 && psize >= borrow_min_ && in.pin() != nullptr;
     om::ObjRef obj;
     // Figure 13: reuse the cached array iff type and size match; otherwise
     // allocate a fresh one ("if an array size is mismatched ... a new
@@ -202,21 +228,42 @@ om::ObjRef SerialReader::read_body(ByteBuffer& in, const NodePlan& body,
       obj = cached;
       consumed_.insert(obj);
       ++stats_.objects_reused;
-    } else {
-      obj = fresh_alloc(cls, length);
-      cached = nullptr;  // shape mismatch: children have no counterpart
-    }
-    note_handle(obj, node_cycle_check);
-    const bool reused_here = cached != nullptr;  // after the branch above
-    if (cls.elem_kind == om::TypeKind::Ref) {
-      RMIOPT_CHECK(body.elem_plan != nullptr, "ref array plan lacks element plan");
-      for (std::uint32_t i = 0; i < length; ++i) {
-        om::ObjRef cached_elem = reused_here ? obj->get_elem_ref(i) : nullptr;
-        obj->set_elem_ref(i, read_node(in, *body.elem_plan, cached_elem, reuse));
+      note_handle(obj, node_cycle_check);
+      if (prim) {
+        if (borrowable && obj->has_borrowed_storage()) {
+          // §3.3 × zero copy: retarget the cached array at the new frame's
+          // span instead of rewriting its bytes.  The swap releases the
+          // pin on whichever frame the slot borrowed last time.
+          om::rebind_borrowed(obj, in.view_bytes(psize), in.pin());
+          ++stats_.recv_segments;
+          stats_.recv_bytes_borrowed += psize;
+        } else {
+          in.get_bytes(obj->payload(), psize);
+          stats_.bytes_copied_rx += psize;
+        }
+        return obj;
       }
     } else {
-      in.get_bytes(obj->payload(), obj->payload_size());
-      stats_.bytes_copied_rx += obj->payload_size();
+      if (prim) {
+        if (borrowable) {
+          obj = borrowed_alloc(cls, length, in);
+        } else {
+          obj = fresh_alloc(cls, length);
+          in.get_bytes(obj->payload(), psize);
+          stats_.bytes_copied_rx += psize;
+        }
+        note_handle(obj, node_cycle_check);
+        return obj;
+      }
+      obj = fresh_alloc(cls, length);
+      cached = nullptr;  // shape mismatch: children have no counterpart
+      note_handle(obj, node_cycle_check);
+    }
+    const bool reused_here = cached != nullptr;  // after the branch above
+    RMIOPT_CHECK(body.elem_plan != nullptr, "ref array plan lacks element plan");
+    for (std::uint32_t i = 0; i < length; ++i) {
+      om::ObjRef cached_elem = reused_here ? obj->get_elem_ref(i) : nullptr;
+      obj->set_elem_ref(i, read_node(in, *body.elem_plan, cached_elem, reuse));
     }
     return obj;
   }

@@ -56,6 +56,13 @@ class SerialReader {
   // front lets an abandoned pass release graphs the stream never reached.
   void adopt_cache_roots(std::span<const om::ObjRef> roots);
 
+  // Arms zero-copy receive for this pass: inline primitive-array rows of
+  // at least `min_bytes` payload are materialized as borrowed spans into
+  // the input's pinned frame (requires `in.pin() != nullptr`) instead of
+  // being copied into fresh heap storage.  The runtime turns this on only
+  // for non-HEAVY sites when CostModel::zero_copy_receive is set.
+  void enable_borrow(std::size_t min_bytes) { borrow_min_ = min_bytes; }
+
  private:
   om::ObjRef read_node(ByteBuffer& in, const NodePlan& plan,
                        om::ObjRef cached, bool reuse);
@@ -71,6 +78,8 @@ class SerialReader {
                        const om::ClassDescriptor& cls, bool node_cycle_check,
                        om::ObjRef cached, bool reuse);
   om::ObjRef fresh_alloc(const om::ClassDescriptor& cls, std::uint32_t length);
+  om::ObjRef borrowed_alloc(const om::ClassDescriptor& cls,
+                            std::uint32_t length, ByteBuffer& in);
   void note_handle(om::ObjRef obj, bool node_cycle_check);
 
   const ClassPlanRegistry& class_plans_;
@@ -78,6 +87,7 @@ class SerialReader {
   om::Heap& heap_;
   SerialStats& stats_;
   const bool cycle_enabled_;
+  std::size_t borrow_min_ = 0;  // 0 = borrowing disabled (the default)
   const trace::PassTrace pt_;
   std::chrono::steady_clock::time_point real_start_;
   std::vector<om::ObjRef> handles_;

@@ -20,6 +20,8 @@ struct SerialStats {
   std::uint64_t bytes_copied_rx = 0;         // bulk payload bytes (receive)
   std::uint64_t gather_segments = 0;         // borrowed iovec segments (send)
   std::uint64_t gather_bytes_borrowed = 0;   //   ... their payload volume
+  std::uint64_t recv_segments = 0;           // borrowed frame spans (receive)
+  std::uint64_t recv_bytes_borrowed = 0;     //   ... their payload volume
   std::uint64_t cycle_lookups = 0;           // cycle-table probes
   std::uint64_t cycle_tables_created = 0;
   std::uint64_t type_info_bytes = 0;         // wire bytes spent on types
@@ -37,6 +39,8 @@ struct SerialStats {
     bytes_copied_rx += o.bytes_copied_rx;
     gather_segments += o.gather_segments;
     gather_bytes_borrowed += o.gather_bytes_borrowed;
+    recv_segments += o.recv_segments;
+    recv_bytes_borrowed += o.recv_bytes_borrowed;
     cycle_lookups += o.cycle_lookups;
     cycle_tables_created += o.cycle_tables_created;
     type_info_bytes += o.type_info_bytes;
@@ -72,16 +76,20 @@ struct SerialStats {
     // so default-configuration charging is untouched.
     ns = static_cast<std::int64_t>(gather_segments) * m.gather_segment_ns;
     t += SimTime::nanos(ns);
-    if (m.zero_copy_receive) {
-      // Kono/Masuda-style dynamic specialization ([10], §6): received
-      // primitive payloads are used directly from the network buffer
-      // after light preprocessing instead of being copied out.
-      t += SimTime::nanos(static_cast<std::int64_t>(
-          m.zero_copy_preprocess_ns_per_kb *
-          (static_cast<double>(bytes_copied_rx) / 1024.0)));
-    } else {
-      t += m.for_bytes_copied(bytes_copied_rx);
-    }
+    // Zero-copy receive: rows the reader *borrowed* straight out of the
+    // pinned frame were counted into recv_* instead of bytes_copied_rx, so
+    // the byte-copy charge disappears for exactly the bytes that were not
+    // copied.  A borrowed span pays its gather-list dual (per-segment
+    // bookkeeping) plus Kono/Masuda-style light preprocessing ([10], §6)
+    // per KB.  All three counters are zero unless
+    // CostModel::zero_copy_receive routed the reader into borrow mode, so
+    // default-configuration charging is untouched.
+    t += m.for_bytes_copied(bytes_copied_rx);
+    ns = static_cast<std::int64_t>(recv_segments) * m.gather_segment_ns;
+    ns += static_cast<std::int64_t>(
+        m.zero_copy_preprocess_ns_per_kb *
+        (static_cast<double>(recv_bytes_borrowed) / 1024.0));
+    t += SimTime::nanos(ns);
     return t;
   }
 };

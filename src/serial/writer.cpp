@@ -1,6 +1,7 @@
 #include "serial/writer.hpp"
 
 #include <type_traits>
+#include <utility>
 
 #include "wire/protocol.hpp"
 
@@ -110,22 +111,26 @@ void SerialWriter::write_body_any(Out& out, const NodePlan& body,
       }
     } else {
       const std::size_t n = obj->payload_size();
+      // const read: serializing a zero-copy-received (borrowed) array must
+      // not trigger its COW detach — the wire wants the bytes, not a
+      // mutable pointer.
+      const std::uint8_t* src = std::as_const(*obj).payload();
       bool borrowed = false;
       if constexpr (std::is_same_v<Out, support::GatherBuffer>) {
         // Only rows the compiler proved monomorphic (inline nodes) are
         // handed to the NIC as borrowed segments; dynamic-dispatch
         // fallback rows keep the copy so the gathered image never depends
         // on a type only the runtime discovered.
-        if (inline_node) borrowed = out.borrow(obj->payload(), n);
+        if (inline_node) borrowed = out.borrow(src, n);
       }
       if (borrowed) {
         ++stats_.gather_segments;
         stats_.gather_bytes_borrowed += n;
       } else {
         if constexpr (!std::is_same_v<Out, support::GatherBuffer>) {
-          out.put_bytes(obj->payload(), n);
+          out.put_bytes(src, n);
         } else if (!inline_node) {
-          out.put_bytes(obj->payload(), n);
+          out.put_bytes(src, n);
         }
         // (an inline borrow() that declined already copied the bytes)
         stats_.bytes_copied += n;
@@ -139,7 +144,8 @@ void SerialWriter::write_body_any(Out& out, const NodePlan& body,
       RMIOPT_CHECK(fa.ref_plan != nullptr, "ref field plan missing");
       write_any(out, *fa.ref_plan, obj->get_ref(f));
     } else {
-      out.put_bytes(obj->payload() + f.offset, size_of(f.kind));
+      out.put_bytes(std::as_const(*obj).payload() + f.offset,
+                    size_of(f.kind));
       ++stats_.fields_marshaled;
     }
   }
@@ -187,7 +193,7 @@ void SerialWriter::write_introspective(ByteBuffer& out, om::ObjRef obj) {
         write_introspective(out, obj->get_elem_ref(i));
       }
     } else {
-      out.put_bytes(obj->payload(), obj->payload_size());
+      out.put_bytes(std::as_const(*obj).payload(), obj->payload_size());
       stats_.bytes_copied += obj->payload_size();
     }
     return;
@@ -197,7 +203,8 @@ void SerialWriter::write_introspective(ByteBuffer& out, om::ObjRef obj) {
     if (f.kind == om::TypeKind::Ref) {
       write_introspective(out, obj->get_ref(f));
     } else {
-      out.put_bytes(obj->payload() + f.offset, size_of(f.kind));
+      out.put_bytes(std::as_const(*obj).payload() + f.offset,
+                    size_of(f.kind));
       ++stats_.fields_marshaled;
     }
   }

@@ -5,10 +5,19 @@
 // Pentium-III cluster, so no byte swapping is needed).  Unsigned LEB128
 // varints are provided for the compact type encoding used by the
 // class-specific protocol (KaRMI-style "more compact encoding of types").
+//
+// Two storage modes:
+//  * owned (default): a growable std::vector, read/write;
+//  * view: a read-only span into externally owned memory, kept alive by a
+//    refcounted pin (typically a support::FramePool block).  Views carry
+//    no bytes of their own — this is how the zero-copy receive path hands
+//    a decoded Message a window into the pooled frame image without the
+//    per-message delivery copy.  Writing into a view is a logic error.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -24,10 +33,30 @@ class ByteBuffer {
   explicit ByteBuffer(std::vector<std::uint8_t> bytes)
       : bytes_(std::move(bytes)) {}
 
+  // A read-only window into [data, data+len) whose lifetime is guaranteed
+  // by `pin` (copies of the buffer share the pin).  Reading never copies
+  // out of the underlying frame until a get_* accessor asks for it.
+  static ByteBuffer view(const std::uint8_t* data, std::size_t len,
+                         std::shared_ptr<void> pin) {
+    ByteBuffer b;
+    b.ext_ = data;
+    b.ext_size_ = len;
+    b.pin_ = std::move(pin);
+    return b;
+  }
+
+  bool is_view() const { return ext_ != nullptr; }
+
+  // The refcounted keep-alive backing a view (null for owned buffers).
+  // The reader uses this as the borrow gate: a payload with a pin can
+  // hand out spans that outlive the decode call.
+  const std::shared_ptr<void>& pin() const { return pin_; }
+
   // ---- writing -----------------------------------------------------------
   template <typename T>
   void put(T value) {
     static_assert(std::is_trivially_copyable_v<T>);
+    RMIOPT_CHECK(!is_view(), "write into ByteBuffer view");
     const std::size_t old = bytes_.size();
     bytes_.resize(old + sizeof(T));
     std::memcpy(bytes_.data() + old, &value, sizeof(T));
@@ -40,6 +69,7 @@ class ByteBuffer {
   void put_f64(double v) { put(v); }
 
   void put_varint(std::uint64_t v) {
+    RMIOPT_CHECK(!is_view(), "write into ByteBuffer view");
     while (v >= 0x80) {
       bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
       v >>= 7;
@@ -49,6 +79,7 @@ class ByteBuffer {
 
   void put_bytes(const void* data, std::size_t len) {
     if (len == 0) return;  // empty spans may carry data() == nullptr
+    RMIOPT_CHECK(!is_view(), "write into ByteBuffer view");
     const std::size_t old = bytes_.size();
     bytes_.resize(old + len);
     std::memcpy(bytes_.data() + old, data, len);
@@ -70,10 +101,9 @@ class ByteBuffer {
   template <typename T>
   T get() {
     static_assert(std::is_trivially_copyable_v<T>);
-    RMIOPT_CHECK(read_pos_ + sizeof(T) <= bytes_.size(),
-                 "ByteBuffer underflow");
+    RMIOPT_CHECK(read_pos_ + sizeof(T) <= size(), "ByteBuffer underflow");
     T value;
-    std::memcpy(&value, bytes_.data() + read_pos_, sizeof(T));
+    std::memcpy(&value, data() + read_pos_, sizeof(T));
     read_pos_ += sizeof(T);
     return value;
   }
@@ -97,8 +127,8 @@ class ByteBuffer {
     std::uint64_t v = 0;
     int shift = 0;
     while (true) {
-      if (read_pos_ >= bytes_.size()) throw DecodeError("varint underflow");
-      const std::uint8_t b = bytes_[read_pos_++];
+      if (read_pos_ >= size()) throw DecodeError("varint underflow");
+      const std::uint8_t b = data()[read_pos_++];
       if (shift == 63 && (b & 0x7e) != 0)
         throw DecodeError("varint overflow: set bits above 2^64");
       v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
@@ -116,17 +146,28 @@ class ByteBuffer {
   void get_bytes(void* out, std::size_t len) {
     // `len <= size - pos` (not `pos + len <= size`): a corrupted length can
     // be large enough to wrap the addition.
-    RMIOPT_CHECK(len <= bytes_.size() - read_pos_, "ByteBuffer underflow");
+    RMIOPT_CHECK(len <= size() - read_pos_, "ByteBuffer underflow");
     if (len == 0) return;  // empty spans may carry data() == nullptr
-    std::memcpy(out, bytes_.data() + read_pos_, len);
+    std::memcpy(out, data() + read_pos_, len);
     read_pos_ += len;
+  }
+
+  // Bounds-checked zero-copy read: returns a pointer to the next `len`
+  // bytes in place and advances the cursor.  The pointer is valid only as
+  // long as the backing storage lives — for a view, that means as long as
+  // pin() is held; callers that stash it (borrowed array storage) must
+  // retain the pin.
+  const std::uint8_t* view_bytes(std::size_t len) {
+    RMIOPT_CHECK(len <= size() - read_pos_, "ByteBuffer underflow");
+    const std::uint8_t* p = data() + read_pos_;
+    read_pos_ += len;
+    return p;
   }
 
   std::string get_string() {
     const std::size_t len = get_varint();
-    RMIOPT_CHECK(len <= bytes_.size() - read_pos_, "string underflow");
-    std::string s(reinterpret_cast<const char*>(bytes_.data() + read_pos_),
-                  len);
+    RMIOPT_CHECK(len <= size() - read_pos_, "string underflow");
+    std::string s(reinterpret_cast<const char*>(data() + read_pos_), len);
     read_pos_ += len;
     return s;
   }
@@ -137,21 +178,34 @@ class ByteBuffer {
   }
 
   // ---- cursor / capacity --------------------------------------------------
-  std::size_t size() const { return bytes_.size(); }
-  std::size_t remaining() const { return bytes_.size() - read_pos_; }
+  std::size_t size() const { return is_view() ? ext_size_ : bytes_.size(); }
+  std::size_t remaining() const { return size() - read_pos_; }
   std::size_t read_pos() const { return read_pos_; }
   void rewind() { read_pos_ = 0; }
   void clear() {
     bytes_.clear();
+    ext_ = nullptr;
+    ext_size_ = 0;
+    pin_.reset();
     read_pos_ = 0;
   }
   void reserve(std::size_t n) { bytes_.reserve(n); }
 
-  std::span<const std::uint8_t> contents() const { return bytes_; }
-  std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+  std::span<const std::uint8_t> contents() const { return {data(), size()}; }
+  std::vector<std::uint8_t> take() && {
+    RMIOPT_CHECK(!is_view(), "take() from ByteBuffer view");
+    return std::move(bytes_);
+  }
 
  private:
+  const std::uint8_t* data() const {
+    return is_view() ? ext_ : bytes_.data();
+  }
+
   std::vector<std::uint8_t> bytes_;
+  const std::uint8_t* ext_ = nullptr;  // non-null => view mode
+  std::size_t ext_size_ = 0;
+  std::shared_ptr<void> pin_;
   std::size_t read_pos_ = 0;
 };
 

@@ -1,0 +1,109 @@
+// Per-machine freelist of refcounted frame buffers for the zero-copy
+// receive path.
+//
+// When `CostModel::zero_copy_receive` is on, the transport materializes
+// each physical frame image into a pooled Block instead of a fresh
+// per-message std::vector, and every Message decoded out of the frame
+// carries a ByteBuffer *view* pinning that block (see
+// support/bytebuffer.hpp).  The block returns to the freelist only when
+// the last pin drops — which may be long after delivery if the reader
+// borrowed primitive-array spans into application objects
+// (objmodel borrowed storage, COW on mutation).
+//
+// The pool models NIC receive-ring recycling: a bounded freelist of
+// reusable buffers, a hit when delivery finds one free, a miss when the
+// ring is dry (every live frame still pinned) and a new buffer must be
+// allocated.  Hit/miss counters surface through NetworkStats so the
+// ablation bench can assert real allocation traffic drops with the knob
+// on.  The counters (and the pool itself) are only ever touched when the
+// knob is on, preserving knob-off byte-identity of the bench tables.
+//
+// Thread safety: acquire/release take the core mutex (delivery happens on
+// sender threads; release can happen on any machine thread that drops the
+// last borrowing object).  The deleter holds a shared_ptr to the core, so
+// blocks released after the pool (machine) is destroyed are simply freed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rmiopt::support {
+
+class FramePool {
+ public:
+  struct Block {
+    std::vector<std::uint8_t> bytes;
+  };
+  using BlockRef = std::shared_ptr<Block>;
+
+  struct Counters {
+    std::uint64_t hits = 0;    // acquire served from the freelist
+    std::uint64_t misses = 0;  // freelist dry: fresh allocation
+  };
+
+  explicit FramePool(std::size_t max_free = 16)
+      : core_(std::make_shared<Core>(max_free)) {}
+
+  // Non-copyable, non-movable: Machine owns exactly one, and outstanding
+  // deleters hold shared_ptrs into core_.
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  // Returns an empty block (bytes cleared, capacity >= reserve_bytes when
+  // recycled capacity allows).  The BlockRef's deleter returns the block
+  // to this pool's freelist; copies of the ref pin the block until the
+  // last one drops.
+  BlockRef acquire(std::size_t reserve_bytes) {
+    std::unique_ptr<Block> block;
+    {
+      std::lock_guard<std::mutex> lock(core_->mu);
+      if (!core_->free.empty()) {
+        block = std::move(core_->free.back());
+        core_->free.pop_back();
+        ++core_->counters.hits;
+      } else {
+        ++core_->counters.misses;
+      }
+    }
+    if (!block) block = std::make_unique<Block>();
+    block->bytes.clear();
+    block->bytes.reserve(reserve_bytes);
+    return BlockRef(block.release(), Deleter{core_});
+  }
+
+  Counters counters() const {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    return core_->counters;
+  }
+
+  std::size_t free_blocks() const {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    return core_->free.size();
+  }
+
+ private:
+  struct Core {
+    explicit Core(std::size_t mf) : max_free(mf) {}
+    mutable std::mutex mu;
+    std::vector<std::unique_ptr<Block>> free;
+    Counters counters;
+    std::size_t max_free;
+  };
+
+  struct Deleter {
+    std::shared_ptr<Core> core;
+    void operator()(Block* block) const {
+      std::unique_ptr<Block> owned(block);
+      std::lock_guard<std::mutex> lock(core->mu);
+      if (core->free.size() < core->max_free)
+        core->free.push_back(std::move(owned));
+      // else: ring overfull, let the unique_ptr free it.
+    }
+  };
+
+  std::shared_ptr<Core> core_;
+};
+
+}  // namespace rmiopt::support

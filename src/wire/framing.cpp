@@ -65,9 +65,15 @@ Message decode_message(ByteBuffer& in) {
   }
   const std::uint64_t len = in.get_varint();
   RMIOPT_CHECK(len <= in.remaining(), "truncated frame: payload cut short");
-  std::vector<std::uint8_t> payload(len);
-  in.get_bytes(payload.data(), payload.size());
-  msg.payload = ByteBuffer(std::move(payload));
+  if (in.pin() != nullptr) {
+    // Zero-copy delivery: the payload is a pinned window into the pooled
+    // frame image (all messages of a batch frame share one pin).
+    msg.payload = ByteBuffer::view(in.view_bytes(len), len, in.pin());
+  } else {
+    std::vector<std::uint8_t> payload(len);
+    in.get_bytes(payload.data(), payload.size());
+    msg.payload = ByteBuffer(std::move(payload));
+  }
   return msg;
 }
 
@@ -111,7 +117,9 @@ Frame decode_frame_body(ByteBuffer& buf) {
 
 }  // namespace
 
-ByteBuffer encode_frame(const Frame& frame) {
+namespace {
+
+void encode_frame_impl(const Frame& frame, ByteBuffer& out) {
   RMIOPT_CHECK(!frame.messages.empty(), "cannot encode an empty frame");
   ByteBuffer body;
   body.put_varint(frame.link_seq);
@@ -121,12 +129,27 @@ ByteBuffer encode_frame(const Frame& frame) {
     body.put_varint(frame.messages.size());
     for (const Message& m : frame.messages) encode_message(body, m);
   }
-  ByteBuffer out;
   out.put_u8(frame.messages.size() == 1 ? kSingleFrameTag : kBatchFrameTag);
   const auto body_bytes = body.contents();
   out.put_u32(image_checksum(body_bytes.data(), body_bytes.size()));
   out.put_bytes(body_bytes.data(), body_bytes.size());
+}
+
+}  // namespace
+
+ByteBuffer encode_frame(const Frame& frame) {
+  ByteBuffer out;
+  encode_frame_impl(frame, out);
   return out;
+}
+
+void encode_frame_into(const Frame& frame, std::vector<std::uint8_t>& out) {
+  // Round-trip the vector through a ByteBuffer so the pooled capacity is
+  // reused rather than reallocated.
+  out.clear();
+  ByteBuffer buf(std::move(out));
+  encode_frame_impl(frame, buf);
+  out = std::move(buf).take();
 }
 
 Frame decode_frame(ByteBuffer& buf) {

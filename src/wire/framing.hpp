@@ -60,11 +60,23 @@ struct Frame {
 // at least one message.
 ByteBuffer encode_frame(const Frame& frame);
 
+// Same image, written into `out` (cleared first).  The vector's capacity
+// is preserved across the call, so a pooled frame buffer
+// (support::FramePool block) recycles its allocation — this is the
+// zero-copy receive path's NIC-ring write.
+void encode_frame_into(const Frame& frame, std::vector<std::uint8_t>& out);
+
 // Parses a byte image produced by encode_frame, consuming the rest of
 // `buf` from its read cursor (the checksum covers everything up to the
 // end, so one buffer carries exactly one frame).  Throws
 // rmiopt::DecodeError on an unknown tag, a checksum mismatch, or a
 // truncated/malformed image.
+//
+// If `buf` is a pinned view (ByteBuffer::view over a pooled frame image),
+// every decoded message's payload is itself a pinned view into the same
+// image — no per-message delivery copy — and the frame buffer recycles
+// only when the last payload (and any object still borrowing spans from
+// it) lets go.  An owned `buf` keeps the historical copy-out behavior.
 Frame decode_frame(ByteBuffer& buf);
 
 }  // namespace rmiopt::wire

@@ -7,8 +7,13 @@
 // file).  The generator is seeded, so a failing image is reproducible.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
+#include "serial/class_plans.hpp"
+#include "serial/plan.hpp"
+#include "serial/reader.hpp"
+#include "serial/writer.hpp"
 #include "support/error.hpp"
 #include "support/hash.hpp"
 #include "support/rng.hpp"
@@ -188,6 +193,97 @@ TEST(VarintFuzz, OverlongLinkSeqInValidFrameIsRejected) {
   out.put_u32(checksum);
   out.put_bytes(body.data(), body.size());
   EXPECT_EQ(try_decode(std::move(out).take()), Outcome::Rejected);
+}
+
+// ---- borrowed decode passes that fail midway --------------------------------
+// With zero-copy receive armed, the reader may have handed out borrowed
+// spans into the pinned frame before the stream turns out to be damaged.
+// The abandoned pass must unwind every borrow: no dangling span, every pin
+// dropped, the frame free to return to its pool, the heap back to empty.
+
+class BorrowUnwindFuzz : public ::testing::Test {
+ protected:
+  BorrowUnwindFuzz() : class_plans(types), heap(types) {
+    row_id = types.register_prim_array(om::TypeKind::Double);
+    mat_id = types.register_ref_array(row_id);
+    auto row = std::make_unique<serial::NodePlan>();
+    row->expected_class = row_id;
+    plan = std::make_unique<serial::NodePlan>();
+    plan->expected_class = mat_id;
+    plan->elem_plan = std::move(row);
+  }
+
+  // A valid 4x32 matrix stream (256-byte rows, all above the borrow
+  // threshold), as raw bytes.
+  std::vector<std::uint8_t> valid_stream() {
+    om::ObjRef m = heap.alloc_array(mat_id, 4);
+    for (std::uint32_t r = 0; r < 4; ++r) {
+      om::ObjRef row = heap.alloc_array(row_id, 32);
+      auto e = row->elems<double>();
+      for (std::uint32_t c = 0; c < 32; ++c) e[c] = r * 100.0 + c;
+      m->set_elem_ref(r, row);
+    }
+    serial::SerialStats ws;
+    serial::SerialWriter w(class_plans, ws, /*cycle_enabled=*/false);
+    ByteBuffer buf;
+    w.write(buf, *plan, m);
+    heap.free_graph(m);
+    return std::move(buf).take();
+  }
+
+  // Runs one borrowing decode pass over a pinned view of `bytes`.  After
+  // the pass — clean or thrown — the pin must be released and the heap
+  // empty; anything else is a dangling borrow or a leak.
+  void decode_and_check_unwind(std::vector<std::uint8_t> bytes) {
+    auto frame = std::make_shared<std::vector<std::uint8_t>>(std::move(bytes));
+    {
+      ByteBuffer in = ByteBuffer::view(frame->data(), frame->size(), frame);
+      serial::SerialStats rs;
+      serial::SerialReader r(class_plans, heap, rs, /*cycle_enabled=*/false);
+      r.enable_borrow(/*min_bytes=*/64);
+      try {
+        om::ObjRef copy = r.read(in, *plan);
+        if (copy != nullptr) heap.free_graph(copy);
+      } catch (const Error&) {
+        // The reader abandoned the pass and unwound its allocations.
+      }
+    }
+    EXPECT_EQ(frame.use_count(), 1) << "dangling borrow pins the frame";
+    EXPECT_EQ(heap.stats().live_objects(), 0u) << "abandoned pass leaked";
+  }
+
+  om::TypeRegistry types;
+  serial::ClassPlanRegistry class_plans;
+  om::Heap heap;
+  om::ClassId row_id = om::kNoClass;
+  om::ClassId mat_id = om::kNoClass;
+  std::unique_ptr<serial::NodePlan> plan;
+};
+
+TEST_F(BorrowUnwindFuzz, EveryTruncationUnwindsItsBorrows) {
+  const std::vector<std::uint8_t> bytes = valid_stream();
+  // Rows land mid-stream, so most cuts fail *after* earlier rows already
+  // borrowed into the pinned frame.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    decode_and_check_unwind({bytes.begin(), bytes.begin() + cut});
+  }
+}
+
+TEST_F(BorrowUnwindFuzz, CorruptedStreamsUnwindOrDecodeButNeverDangle) {
+  SplitMix64 rng(0xB0BB);
+  const std::vector<std::uint8_t> bytes = valid_stream();
+  for (int iter = 0; iter < 400; ++iter) {
+    std::vector<std::uint8_t> damaged = bytes;
+    const std::size_t flips = 1 + rng.next_below(8);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t bit = rng.next_below(damaged.size() * 8);
+      damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    // Payload-only damage still decodes (serial streams carry no checksum
+    // — the frame layer owns integrity); structural damage throws.  Both
+    // outcomes must release every pin.
+    decode_and_check_unwind(std::move(damaged));
+  }
 }
 
 TEST(FrameFuzz, PureNoiseNeverCrashesTheDecoder) {
